@@ -1,0 +1,201 @@
+// google-benchmark microbenchmarks for the CPU kernels underlying the
+// join operators: edit distance (full and banded), the sliding-window
+// trackers, PAA, MBR MINDIST, prediction-matrix construction, and the
+// clustering algorithms. These guard the constants behind the CPU cost
+// model (common/cost_model.h).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/cost_clustering.h"
+#include "core/plane_sweep.h"
+#include "core/square_clustering.h"
+#include "geom/mbr.h"
+#include "seq/edit_distance.h"
+#include "seq/frequency_vector.h"
+#include "seq/paa.h"
+#include "seq/window_join.h"
+
+namespace pmjoin {
+namespace {
+
+std::vector<uint8_t> MakeString(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> s(n);
+  for (auto& c : s) c = static_cast<uint8_t>(rng.Uniform(4));
+  return s;
+}
+
+std::vector<float> MakeSeries(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> s(n);
+  for (auto& v : s) v = static_cast<float>(rng.UniformDouble());
+  return s;
+}
+
+void BM_EditDistanceFull(benchmark::State& state) {
+  const size_t n = state.range(0);
+  const auto a = MakeString(n, 1);
+  const auto b = MakeString(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EditDistance(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_EditDistanceFull)->Arg(64)->Arg(256)->Arg(500);
+
+void BM_EditDistanceBanded(benchmark::State& state) {
+  const size_t n = 500;
+  const size_t k = state.range(0);
+  const auto a = MakeString(n, 1);
+  auto b = a;
+  Rng rng(3);
+  for (size_t i = 0; i < k; ++i)
+    b[rng.Uniform(n)] = static_cast<uint8_t>(rng.Uniform(4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BandedEditDistance(a, b, k));
+  }
+  state.SetItemsProcessed(state.iterations() * (2 * k + 1) * n);
+}
+BENCHMARK(BM_EditDistanceBanded)->Arg(1)->Arg(5)->Arg(20);
+
+void BM_FreqPairTrackerSlide(benchmark::State& state) {
+  const size_t n = 8192, L = 500;
+  const auto x = MakeString(n, 5);
+  const auto y = MakeString(n, 6);
+  FreqPairTracker tracker(std::span<const uint8_t>(x).subspan(0, L),
+                          std::span<const uint8_t>(y).subspan(0, L), 4);
+  size_t t = 0;
+  for (auto _ : state) {
+    tracker.Slide(x[t], x[t + L], y[t], y[t + L]);
+    benchmark::DoNotOptimize(tracker.FrequencyDist());
+    t = (t + 1) % (n - L - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FreqPairTrackerSlide);
+
+void BM_SlidingL2TrackerSlide(benchmark::State& state) {
+  const size_t n = 8192, L = 128;
+  const auto x = MakeSeries(n, 7);
+  const auto y = MakeSeries(n, 8);
+  SlidingL2Tracker tracker(std::span<const float>(x).subspan(0, L),
+                           std::span<const float>(y).subspan(0, L));
+  size_t t = 0;
+  for (auto _ : state) {
+    tracker.Slide(x[t], x[t + L], y[t], y[t + L]);
+    benchmark::DoNotOptimize(tracker.SquaredDistance());
+    t = (t + 1) % (n - L - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SlidingL2TrackerSlide);
+
+void BM_Paa(benchmark::State& state) {
+  const size_t L = state.range(0);
+  const auto x = MakeSeries(L, 9);
+  std::vector<float> out(8);
+  for (auto _ : state) {
+    PaaTransform(x, 8, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_Paa)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_MbrMinDist(benchmark::State& state) {
+  const size_t dims = state.range(0);
+  Rng rng(11);
+  std::vector<float> lo1(dims), hi1(dims), lo2(dims), hi2(dims);
+  for (size_t d = 0; d < dims; ++d) {
+    lo1[d] = static_cast<float>(rng.UniformDouble());
+    hi1[d] = lo1[d] + 0.1f;
+    lo2[d] = static_cast<float>(rng.UniformDouble());
+    hi2[d] = lo2[d] + 0.1f;
+  }
+  const Mbr a = Mbr::FromBounds(lo1, hi1);
+  const Mbr b = Mbr::FromBounds(lo2, hi2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MinDist(b, Norm::kL2));
+  }
+}
+BENCHMARK(BM_MbrMinDist)->Arg(2)->Arg(16)->Arg(60);
+
+std::vector<Mbr> MakeBoxes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Mbr> boxes;
+  boxes.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<float> lo(2), hi(2);
+    for (size_t d = 0; d < 2; ++d) {
+      lo[d] = static_cast<float>(rng.UniformDouble());
+      hi[d] = lo[d] + 0.01f;
+    }
+    boxes.push_back(Mbr::FromBounds(lo, hi));
+  }
+  return boxes;
+}
+
+void BM_MatrixBuildFlat(benchmark::State& state) {
+  const size_t n = state.range(0);
+  const auto r = MakeBoxes(n, 13);
+  const auto s = MakeBoxes(n, 14);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BuildPredictionMatrixFlat(r, s, 0.01, Norm::kL2, nullptr));
+  }
+}
+BENCHMARK(BM_MatrixBuildFlat)->Arg(256)->Arg(1024)->Arg(4096);
+
+PredictionMatrix MakeMatrix(uint32_t n, double density, uint64_t seed) {
+  Rng rng(seed);
+  PredictionMatrix m(n, n);
+  for (uint32_t r = 0; r < n; ++r) {
+    for (uint32_t c = 0; c < n; ++c) {
+      if (rng.Bernoulli(density)) m.Mark(r, c);
+    }
+  }
+  m.Finalize();
+  return m;
+}
+
+void BM_SquareClustering(benchmark::State& state) {
+  const uint32_t n = state.range(0);
+  const PredictionMatrix m = MakeMatrix(n, 0.05, 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SquareClustering(m, 32, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * m.MarkedCount());
+}
+BENCHMARK(BM_SquareClustering)->Arg(128)->Arg(512);
+
+void BM_CostClustering(benchmark::State& state) {
+  const uint32_t n = state.range(0);
+  const PredictionMatrix m = MakeMatrix(n, 0.05, 19);
+  for (auto _ : state) {
+    Rng rng(23);
+    benchmark::DoNotOptimize(
+        CostClustering(m, 32, DiskModel(), 100, &rng, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * m.MarkedCount());
+}
+BENCHMARK(BM_CostClustering)->Arg(128)->Arg(512);
+
+void BM_JoinStringPages(benchmark::State& state) {
+  const size_t n = 8192;
+  const uint32_t L = 500;
+  const auto x = MakeString(n, 29);
+  WindowJoinOptions options;
+  options.window_len = L;
+  CountingSink sink;
+  const WindowRange range{0, 1024};
+  for (auto _ : state) {
+    JoinStringWindows(x, x, range, range, options, 5, 4, &sink, nullptr);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024 * 1024);
+}
+BENCHMARK(BM_JoinStringPages);
+
+}  // namespace
+}  // namespace pmjoin
+
+BENCHMARK_MAIN();

@@ -1,0 +1,172 @@
+// Reproduces Table 2: I/O cost of SC vs. CC (parenthesized in the paper)
+// for four dataset pairs across five buffer sizes. CC serves as an
+// approximate lower bound on the achievable I/O cost; the claim to
+// reproduce is that CC is (almost) always at or below SC, and that both
+// fall as the buffer grows.
+//
+// Reported under both I/O accountings: the paper's uniform 10 ms/page
+// model and the library's linear seek-aware model (seek 10 ms + transfer
+// 1 ms), where CC's seek-avoidance is visible directly.
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/join_driver.h"
+#include "data/vector_dataset.h"
+#include "harness/bench_util.h"
+#include "seq/sequence_store.h"
+
+namespace pmjoin {
+namespace bench {
+namespace {
+
+struct Row {
+  std::string label;
+  /// Runs the configured algorithm against a fresh driver; returns io
+  /// seconds (uniform model) and the linear-model equivalent.
+  std::function<JoinReport(Algorithm, uint32_t buffer)> run;
+  std::vector<uint32_t> paper_buffers;
+  /// Page counts for buffer-ratio scaling (ScaledBuffer).
+  uint64_t paper_pages = 1;
+  uint64_t actual_pages = 1;
+};
+
+void RunRow(const Row& row) {
+  PrintTableHeader(row.label, {"B", "SC io(s)", "CC io(s)", "SC pages",
+                               "CC pages", "SC lin(s)", "CC lin(s)"});
+  for (uint32_t paper_b : row.paper_buffers) {
+    const uint32_t buffer =
+        ScaledBuffer(paper_b, row.paper_pages, row.actual_pages);
+    const JoinReport sc = row.run(Algorithm::kSc, buffer);
+    const JoinReport cc = row.run(Algorithm::kCc, buffer);
+    DiskModel linear;  // Library default: 10 ms seek + 1 ms transfer.
+    PrintTableRow({"B=" + std::to_string(buffer),
+                   FormatSeconds(sc.io_seconds),
+                   FormatSeconds(cc.io_seconds),
+                   FormatCount(sc.io.pages_read),
+                   FormatCount(cc.io.pages_read),
+                   FormatSeconds(sc.io.ModeledSeconds(linear)),
+                   FormatSeconds(cc.io.ModeledSeconds(linear))});
+  }
+}
+
+int Run(const BenchArgs& args) {
+  const double scale = args.EffectiveScale(0.025);
+  std::printf("Table 2 — I/O cost of SC vs CC (scale %.3f)\n", scale);
+
+  // LBeach / MCounty.
+  {
+    SimulatedDisk disk(PaperIoModel());
+    VectorDataset::Options options;
+    options.page_size_bytes = kSpatialPageBytes;
+    auto r = VectorDataset::Build(&disk, "LBeach", LBeachData(scale * 5),
+                                  options);
+    auto s = VectorDataset::Build(&disk, "MCounty", MCountyData(scale * 5),
+                                  options);
+    if (!r.ok() || !s.ok()) return 1;
+    const double eps = CalibratePageEps(*r, *s, 0.10, Norm::kL2, 0x7AB1);
+    Row row;
+    row.label = "Table 2: LBeach/MCounty";
+    row.paper_buffers = {50, 100, 200, 400, 800};
+    row.paper_pages = kPaperPagesSpatial;
+    row.actual_pages = r->num_pages() + s->num_pages();
+    JoinDriver driver(&disk);
+    row.run = [&](Algorithm algorithm, uint32_t buffer) {
+      JoinOptions jo;
+      jo.algorithm = algorithm;
+      jo.buffer_pages = buffer;
+      jo.page_size_bytes = kSpatialPageBytes;
+      CountingSink sink;
+      return driver.RunVector(*r, *s, eps, jo, &sink).value();
+    };
+    RunRow(row);
+  }
+
+  // Landsat1 / Landsat2.
+  {
+    SimulatedDisk disk(PaperIoModel());
+    VectorDataset::Options options;
+    options.page_size_bytes = kSequencePageBytes;
+    auto r = VectorDataset::Build(&disk, "Landsat1",
+                                  LandsatSplit(scale * 5, 0), options);
+    auto s = VectorDataset::Build(&disk, "Landsat2",
+                                  LandsatSplit(scale * 5, 1), options);
+    if (!r.ok() || !s.ok()) return 1;
+    const double eps = CalibratePageEps(*r, *s, 0.10, Norm::kL2, 0x7AB2);
+    Row row;
+    row.label = "Table 2: Landsat1/Landsat2";
+    row.paper_buffers = {125, 250, 500, 1000, 2000};
+    row.paper_pages = kPaperPagesLandsatPair;
+    row.actual_pages = r->num_pages() + s->num_pages();
+    JoinDriver driver(&disk);
+    row.run = [&](Algorithm algorithm, uint32_t buffer) {
+      JoinOptions jo;
+      jo.algorithm = algorithm;
+      jo.buffer_pages = buffer;
+      jo.page_size_bytes = kSequencePageBytes;
+      CountingSink sink;
+      return driver.RunVector(*r, *s, eps, jo, &sink).value();
+    };
+    RunRow(row);
+  }
+
+  // HChr18 self join and HChr18/MChr18.
+  {
+    SimulatedDisk disk(PaperIoModel());
+    std::vector<uint8_t> human, mouse;
+    Chr18Pair(scale, &human, &mouse);
+    const uint32_t page_bytes = SequencePageBytes(scale);
+    auto hs = StringSequenceStore::Build(&disk, "HChr18", std::move(human),
+                                         4, kGenomeWindowLen, page_bytes);
+    auto ms = StringSequenceStore::Build(&disk, "MChr18", std::move(mouse),
+                                         4, kGenomeWindowLen, page_bytes);
+    if (!hs.ok() || !ms.ok()) return 1;
+    JoinDriver driver(&disk);
+
+    Row self_row;
+    self_row.label = "Table 2: HChr18/HChr18";
+    self_row.paper_buffers = {100, 200, 400, 800, 1600};
+    self_row.paper_pages = kPaperPagesHChr18;
+    self_row.actual_pages = hs->layout().NumPages();
+    self_row.run = [&](Algorithm algorithm, uint32_t buffer) {
+      JoinOptions jo;
+      jo.algorithm = algorithm;
+      jo.buffer_pages = buffer;
+      jo.page_size_bytes = page_bytes;
+      CountingSink sink;
+      return driver.RunString(*hs, *hs, kGenomeMaxEdits, jo, &sink).value();
+    };
+    RunRow(self_row);
+
+    Row cross_row;
+    cross_row.label = "Table 2: HChr18/MChr18";
+    cross_row.paper_buffers = {50, 100, 200, 400, 800};
+    cross_row.paper_pages = kPaperPagesChr18Pair;
+    cross_row.actual_pages = hs->layout().NumPages() + ms->layout().NumPages();
+    cross_row.run = [&](Algorithm algorithm, uint32_t buffer) {
+      JoinOptions jo;
+      jo.algorithm = algorithm;
+      jo.buffer_pages = buffer;
+      jo.page_size_bytes = page_bytes;
+      CountingSink sink;
+      return driver.RunString(*hs, *ms, kGenomeMaxEdits, jo, &sink).value();
+    };
+    RunRow(cross_row);
+  }
+
+  PrintPaperNote(
+      "Table 2: CC (parenthesized) at or below SC almost everywhere, both"
+      " falling roughly linearly in B; e.g. LBeach/MCounty B=50: SC 2.06s,"
+      " CC 1.68s; HChr18 self B=100: SC 23.72s, CC 12.02s.");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pmjoin
+
+int main(int argc, char** argv) {
+  return pmjoin::bench::Run(pmjoin::bench::BenchArgs::Parse(argc, argv));
+}

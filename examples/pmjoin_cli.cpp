@@ -1,0 +1,278 @@
+// pmjoin_cli — run any join in the library from the command line against
+// the built-in synthetic dataset generators, printing the full cost
+// report. Useful for exploring the algorithm/buffer/selectivity space
+// without writing code.
+//
+// Usage:
+//   pmjoin_cli [--data=road|clusters|uniform|dna|walk]
+//              [--algo=nlj|pm-nlj|rand-sc|sc|cc|ego|bfrj|pbsm]
+//              [--n=20000] [--dims=2] [--eps=0.01] [--edits=5]
+//              [--buffer=64] [--page=1024] [--window=500] [--self]
+//              [--seed=1] [--norm=l1|l2|linf]
+//
+// Examples:
+//   pmjoin_cli --data=road --algo=sc --n=30000 --eps=0.004 --buffer=32
+//   pmjoin_cli --data=dna --algo=sc --n=150000 --edits=5 --self
+//   pmjoin_cli --data=walk --algo=pm-nlj --n=50000 --eps=1.5 --window=20
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "core/join_driver.h"
+#include "data/generators.h"
+#include "data/vector_dataset.h"
+#include "seq/sequence_store.h"
+
+namespace {
+
+using namespace pmjoin;
+
+struct CliArgs {
+  std::string data = "road";
+  std::string algo = "sc";
+  size_t n = 20000;
+  size_t dims = 2;
+  double eps = 0.01;
+  uint32_t edits = 5;
+  uint32_t buffer = 64;
+  uint32_t page = 1024;
+  uint32_t window = 500;
+  bool self = false;
+  uint64_t seed = 1;
+  std::string norm = "l2";
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+std::optional<CliArgs> Parse(int argc, char** argv) {
+  CliArgs args;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--data", &value)) {
+      args.data = value;
+    } else if (ParseFlag(argv[i], "--algo", &value)) {
+      args.algo = value;
+    } else if (ParseFlag(argv[i], "--n", &value)) {
+      args.n = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--dims", &value)) {
+      args.dims = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--eps", &value)) {
+      args.eps = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--edits", &value)) {
+      args.edits = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--buffer", &value)) {
+      args.buffer = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--page", &value)) {
+      args.page = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--window", &value)) {
+      args.window = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--seed", &value)) {
+      args.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--norm", &value)) {
+      args.norm = value;
+    } else if (std::strcmp(argv[i], "--self") == 0) {
+      args.self = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      return std::nullopt;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[i]);
+      return std::nullopt;
+    }
+  }
+  return args;
+}
+
+std::optional<Algorithm> AlgoOf(const std::string& name) {
+  if (name == "nlj") return Algorithm::kNlj;
+  if (name == "pm-nlj") return Algorithm::kPmNlj;
+  if (name == "rand-sc") return Algorithm::kRandomSc;
+  if (name == "sc") return Algorithm::kSc;
+  if (name == "cc") return Algorithm::kCc;
+  if (name == "ego") return Algorithm::kEgo;
+  if (name == "bfrj") return Algorithm::kBfrj;
+  if (name == "pbsm") return Algorithm::kPbsm;
+  return std::nullopt;
+}
+
+std::optional<Norm> NormOf(const std::string& name) {
+  if (name == "l1") return Norm::kL1;
+  if (name == "l2") return Norm::kL2;
+  if (name == "linf") return Norm::kLInf;
+  return std::nullopt;
+}
+
+void PrintReport(const JoinReport& report, uint64_t result_pairs) {
+  std::printf("algorithm:        %s\n",
+              AlgorithmName(report.algorithm).c_str());
+  std::printf("result pairs:     %llu\n",
+              (unsigned long long)result_pairs);
+  if (report.matrix_rows != 0) {
+    std::printf("matrix:           %llux%llu, %llu marked (%.2f%%)\n",
+                (unsigned long long)report.matrix_rows,
+                (unsigned long long)report.matrix_cols,
+                (unsigned long long)report.marked_entries,
+                100.0 * report.matrix_selectivity);
+  }
+  if (report.num_clusters != 0) {
+    std::printf("clusters:         %llu\n",
+                (unsigned long long)report.num_clusters);
+  }
+  std::printf("io:               %llu pages read, %llu written, %llu "
+              "seeks, %llu buffer hits\n",
+              (unsigned long long)report.io.pages_read,
+              (unsigned long long)report.io.pages_written,
+              (unsigned long long)report.io.seeks,
+              (unsigned long long)report.io.buffer_hits);
+  std::printf("cpu counters:     %s\n", report.ops.ToString().c_str());
+  std::printf("modeled seconds:  io %.3f + cpu %.3f + preprocess %.3f = "
+              "%.3f\n",
+              report.io_seconds, report.cpu_join_seconds,
+              report.preprocess_seconds, report.TotalSeconds());
+}
+
+int Run(const CliArgs& args) {
+  const auto algorithm = AlgoOf(args.algo);
+  const auto norm = NormOf(args.norm);
+  if (!algorithm || !norm) {
+    std::fprintf(stderr, "bad --algo or --norm value\n");
+    return 2;
+  }
+  SimulatedDisk disk;
+  JoinDriver driver(&disk);
+  JoinOptions options;
+  options.algorithm = *algorithm;
+  options.buffer_pages = args.buffer;
+  options.page_size_bytes = args.page;
+  options.norm = *norm;
+  options.seed = args.seed;
+  CountingSink sink;
+
+  if (args.data == "road" || args.data == "clusters" ||
+      args.data == "uniform") {
+    VectorData r_data, s_data;
+    if (args.data == "road") {
+      r_data = GenRoadNetwork(args.n, args.seed);
+      s_data = GenRoadNetwork(args.n, args.seed + 1);
+    } else if (args.data == "clusters") {
+      r_data = GenCorrelatedClusters(args.n, args.dims, args.seed);
+      s_data = GenCorrelatedClusters(args.n, args.dims, args.seed + 1);
+    } else {
+      r_data = GenUniform(args.n, args.dims, args.seed);
+      s_data = GenUniform(args.n, args.dims, args.seed + 1);
+    }
+    VectorDataset::Options layout;
+    layout.page_size_bytes = args.page;
+    auto r = VectorDataset::Build(&disk, "R", r_data, layout);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::optional<VectorDataset> s;
+    if (!args.self) {
+      auto built = VectorDataset::Build(&disk, "S", s_data, layout);
+      if (!built.ok()) {
+        std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+        return 1;
+      }
+      s.emplace(std::move(built).value());
+    }
+    auto report = driver.RunVector(*r, args.self ? *r : *s, args.eps,
+                                   options, &sink);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    PrintReport(*report, sink.count());
+    return 0;
+  }
+
+  if (args.data == "dna") {
+    std::vector<uint8_t> a, b;
+    GenDnaPair(args.n, args.n, args.seed, &a, &b, 0.3, 0.004,
+               /*regime_scale=*/std::min(1.0, args.n / 4225477.0 + 0.15));
+    auto r = StringSequenceStore::Build(&disk, "R", std::move(a), 4,
+                                        args.window, args.page);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::optional<StringSequenceStore> s;
+    if (!args.self) {
+      auto built = StringSequenceStore::Build(&disk, "S", std::move(b), 4,
+                                              args.window, args.page);
+      if (!built.ok()) {
+        std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+        return 1;
+      }
+      s.emplace(std::move(built).value());
+    }
+    auto report = driver.RunString(*r, args.self ? *r : *s, args.edits,
+                                   options, &sink);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    PrintReport(*report, sink.count());
+    return 0;
+  }
+
+  if (args.data == "walk") {
+    const uint32_t window = args.window > 64 ? 20 : args.window;
+    const uint32_t paa = window % 5 == 0 ? 5 : (window % 4 == 0 ? 4 : 1);
+    auto r = TimeSeriesStore::Build(&disk, "R",
+                                    GenRandomWalk(args.n, args.seed),
+                                    window, paa, args.page);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::optional<TimeSeriesStore> s;
+    if (!args.self) {
+      auto built = TimeSeriesStore::Build(
+          &disk, "S", GenRandomWalk(args.n, args.seed + 1), window, paa,
+          args.page);
+      if (!built.ok()) {
+        std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+        return 1;
+      }
+      s.emplace(std::move(built).value());
+    }
+    auto report = driver.RunTimeSeries(*r, args.self ? *r : *s, args.eps,
+                                       options, &sink);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    PrintReport(*report, sink.count());
+    return 0;
+  }
+
+  std::fprintf(stderr, "bad --data value: %s\n", args.data.c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = Parse(argc, argv);
+  if (!args) {
+    std::printf(
+        "usage: pmjoin_cli [--data=road|clusters|uniform|dna|walk]\n"
+        "                  [--algo=nlj|pm-nlj|rand-sc|sc|cc|ego|bfrj|pbsm]\n"
+        "                  [--n=N] [--dims=D] [--eps=E] [--edits=K]\n"
+        "                  [--buffer=B] [--page=BYTES] [--window=L]\n"
+        "                  [--self] [--seed=S] [--norm=l1|l2|linf]\n");
+    return 2;
+  }
+  return Run(*args);
+}

@@ -1,0 +1,175 @@
+#include "baselines/bfrj.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace pmjoin {
+namespace {
+
+struct NodePair {
+  uint32_t r = 0;
+  uint32_t s = 0;
+  bool operator<(const NodePair& other) const {
+    return r != other.r ? r < other.r : s < other.s;
+  }
+};
+
+constexpr uint32_t kPairBytes = 8;  // Two node ids per intermediate entry.
+
+uint64_t PagesFor(uint64_t pairs, uint32_t page_size_bytes) {
+  const uint64_t bytes = pairs * kPairBytes;
+  return (bytes + page_size_bytes - 1) / page_size_bytes;
+}
+
+/// Expands `level` into the next level's pair list. `charge_io` controls
+/// whether node-page reads go through the pool (BfrjJoin) or are skipped
+/// (dry run). Node pairs whose sides sit at different levels descend the
+/// deeper side only.
+Status ExpandLevel(const RStarTree& rt, const RStarTree& st,
+                   const std::vector<NodePair>& level, double threshold,
+                   Norm norm, BufferPool* pool, bool charge_io,
+                   OpCounters* ops, std::vector<NodePair>* next,
+                   std::vector<NodePair>* leaf_pairs) {
+  next->clear();
+  for (const NodePair& pair : level) {
+    const RStarTree::Node& a = rt.node(pair.r);
+    const RStarTree::Node& b = st.node(pair.s);
+    if (charge_io) {
+      PMJOIN_RETURN_IF_ERROR(
+          pool->Touch(PageId{rt.file_id().value(), pair.r}));
+      PMJOIN_RETURN_IF_ERROR(
+          pool->Touch(PageId{st.file_id().value(), pair.s}));
+    }
+    if (a.level > b.level) {
+      for (const RStarTree::Entry& e : a.entries) {
+        if (ops != nullptr) ++ops->mbr_tests;
+        if (e.mbr.MinDist(b.mbr, norm) <= threshold)
+          next->push_back(NodePair{e.id, pair.s});
+      }
+      continue;
+    }
+    if (b.level > a.level) {
+      for (const RStarTree::Entry& e : b.entries) {
+        if (ops != nullptr) ++ops->mbr_tests;
+        if (a.mbr.MinDist(e.mbr, norm) <= threshold)
+          next->push_back(NodePair{pair.r, e.id});
+      }
+      continue;
+    }
+    // Equal level: pair up the children (or data pages at the leaves).
+    const bool leaves = a.IsLeaf();
+    for (const RStarTree::Entry& er : a.entries) {
+      for (const RStarTree::Entry& es : b.entries) {
+        if (ops != nullptr) ++ops->mbr_tests;
+        if (er.mbr.MinDist(es.mbr, norm) > threshold) continue;
+        if (leaves) {
+          leaf_pairs->push_back(NodePair{er.id, es.id});
+        } else {
+          next->push_back(NodePair{er.id, es.id});
+        }
+      }
+    }
+  }
+  std::sort(next->begin(), next->end());
+  next->erase(std::unique(next->begin(), next->end(),
+                          [](const NodePair& x, const NodePair& y) {
+                            return x.r == y.r && x.s == y.s;
+                          }),
+              next->end());
+  return Status::OK();
+}
+
+/// Charges write + read-back of an intermediate list that exceeds the
+/// in-buffer allowance.
+Status SpillIntermediate(SimulatedDisk* disk, uint64_t pages) {
+  if (pages == 0) return Status::OK();
+  const uint32_t file = disk->CreateFile(
+      "bfrj-intermediate", static_cast<uint32_t>(pages));
+  for (uint32_t p = 0; p < pages; ++p) {
+    PMJOIN_RETURN_IF_ERROR(disk->WritePage({file, p}));
+  }
+  PMJOIN_RETURN_IF_ERROR(disk->ReadRun({file, 0},
+                                       static_cast<uint32_t>(pages)));
+  return Status::OK();
+}
+
+}  // namespace
+
+Status BfrjJoin(const RStarTree& r_tree, const RStarTree& s_tree,
+                const JoinInput& input, double threshold, Norm norm,
+                uint32_t page_size_bytes, SimulatedDisk* disk,
+                BufferPool* pool, PairSink* sink, OpCounters* ops) {
+  if (!r_tree.file_id().has_value() || !s_tree.file_id().has_value())
+    return Status::InvalidArgument("BFRJ: trees need attached node files");
+  if (r_tree.empty() || s_tree.empty()) return Status::OK();
+  if (ops != nullptr) ++ops->mbr_tests;
+  if (r_tree.node(r_tree.root())
+          .mbr.MinDist(s_tree.node(s_tree.root()).mbr, norm) > threshold) {
+    return Status::OK();
+  }
+
+  const uint64_t in_buffer_pairs =
+      uint64_t(pool->capacity() / 2) * page_size_bytes / kPairBytes;
+
+  std::vector<NodePair> level{NodePair{r_tree.root(), s_tree.root()}};
+  std::vector<NodePair> next;
+  std::vector<NodePair> leaf_pairs;
+  while (!level.empty()) {
+    PMJOIN_RETURN_IF_ERROR(ExpandLevel(r_tree, s_tree, level, threshold,
+                                       norm, pool, /*charge_io=*/true, ops,
+                                       &next, &leaf_pairs));
+    if (next.size() > in_buffer_pairs) {
+      PMJOIN_RETURN_IF_ERROR(
+          SpillIntermediate(disk, PagesFor(next.size(), page_size_bytes)));
+    }
+    level.swap(next);
+  }
+
+  // Join the qualifying data-page pairs in sorted order (reuses the R page
+  // across its run of S partners; the pool's LRU supplies further reuse).
+  std::sort(leaf_pairs.begin(), leaf_pairs.end());
+  leaf_pairs.erase(std::unique(leaf_pairs.begin(), leaf_pairs.end(),
+                               [](const NodePair& x, const NodePair& y) {
+                                 return x.r == y.r && x.s == y.s;
+                               }),
+                   leaf_pairs.end());
+  if (leaf_pairs.size() > in_buffer_pairs) {
+    PMJOIN_RETURN_IF_ERROR(SpillIntermediate(
+        disk, PagesFor(leaf_pairs.size(), page_size_bytes)));
+  }
+  for (const NodePair& pair : leaf_pairs) {
+    PMJOIN_RETURN_IF_ERROR(pool->Pin(input.RPage(pair.r)));
+    PMJOIN_RETURN_IF_ERROR(pool->Pin(input.SPage(pair.s)));
+    input.joiner->JoinPages(pair.r, pair.s, sink, ops);
+    pool->Unpin(input.SPage(pair.s));
+    pool->Unpin(input.RPage(pair.r));
+  }
+  return Status::OK();
+}
+
+uint64_t BfrjPeakIntermediatePages(const RStarTree& r_tree,
+                                   const RStarTree& s_tree,
+                                   double threshold, Norm norm,
+                                   uint32_t page_size_bytes) {
+  if (r_tree.empty() || s_tree.empty()) return 0;
+  if (r_tree.node(r_tree.root())
+          .mbr.MinDist(s_tree.node(s_tree.root()).mbr, norm) > threshold) {
+    return 0;
+  }
+  std::vector<NodePair> level{NodePair{r_tree.root(), s_tree.root()}};
+  std::vector<NodePair> next;
+  std::vector<NodePair> leaf_pairs;
+  uint64_t peak = 0;
+  while (!level.empty()) {
+    Status st = ExpandLevel(r_tree, s_tree, level, threshold, norm,
+                            /*pool=*/nullptr, /*charge_io=*/false,
+                            /*ops=*/nullptr, &next, &leaf_pairs);
+    (void)st;
+    peak = std::max(peak, PagesFor(next.size(), page_size_bytes));
+    level.swap(next);
+  }
+  peak = std::max(peak, PagesFor(leaf_pairs.size(), page_size_bytes));
+  return peak;
+}
+
+}  // namespace pmjoin

@@ -1,0 +1,29 @@
+#ifndef PMJOIN_BASELINES_BLOCK_NLJ_H_
+#define PMJOIN_BASELINES_BLOCK_NLJ_H_
+
+#include "common/op_counters.h"
+#include "common/pair_sink.h"
+#include "common/status.h"
+#include "core/joiners.h"
+#include "core/prediction_matrix.h"
+#include "io/buffer_pool.h"
+
+namespace pmjoin {
+
+/// Block Nested Loop Join (the paper's NLJ baseline, §2.1): reads blocks of
+/// B − 2 pages from R, and for each block sequentially scans every page of
+/// S, joining all page pairs. No pruning of any kind.
+///
+/// `oracle` (optional, recommended): a prediction matrix for the same join.
+/// NLJ itself never consults it for results — by Theorem 1 an unmarked pair
+/// contributes nothing, so for unmarked pairs the deterministic scan cost
+/// is charged via `ChargeScanned` instead of executing the kernel. All
+/// reported counters and results are identical to a full execution; only
+/// wall-clock time differs (DESIGN.md, "simulation shortcut"). Pass null
+/// to force full execution (tests do, to verify the equivalence).
+Status BlockNlj(const JoinInput& input, BufferPool* pool, PairSink* sink,
+                OpCounters* ops, const PredictionMatrix* oracle = nullptr);
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_BASELINES_BLOCK_NLJ_H_

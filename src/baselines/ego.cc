@@ -1,0 +1,364 @@
+#include "baselines/ego.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "io/external_sort.h"
+#include "seq/edit_distance.h"
+#include "seq/frequency_vector.h"
+#include "seq/paa.h"
+
+namespace pmjoin {
+namespace {
+
+/// One side of the EGO sweep: feature points in ε-grid lexicographic
+/// order, laid out on a (sorted-copy) file.
+struct EgoSide {
+  /// Feature values in sorted order, row-major (count × dims).
+  std::vector<float> features;
+  /// features row i corresponds to original position `positions[i]`
+  /// (record original id, or window start).
+  std::vector<uint64_t> positions;
+  /// First-dimension cell id per sorted row.
+  std::vector<int64_t> cell0;
+  size_t dims = 0;
+  /// Sorted-copy file on disk.
+  uint32_t file = 0;
+  uint32_t records_per_page = 0;
+  uint32_t num_pages = 0;
+
+  uint64_t count() const { return positions.size(); }
+  std::span<const float> Row(uint64_t i) const {
+    return std::span<const float>(features.data() + i * dims, dims);
+  }
+  uint32_t PageOf(uint64_t i) const {
+    return static_cast<uint32_t>(i / records_per_page);
+  }
+};
+
+int64_t CellOf(float v, double width) {
+  return static_cast<int64_t>(std::floor(double(v) / width));
+}
+
+/// Sorts `features` (with `positions` parallel) into ε-grid lexicographic
+/// order and registers the sorted copy on disk (charging the copy write).
+Status BuildEgoSide(SimulatedDisk* disk, std::string_view name,
+                    std::vector<float> features,
+                    std::vector<uint64_t> positions, size_t dims,
+                    double cell_width, uint32_t page_size_bytes,
+                    uint32_t buffer, OpCounters* ops, EgoSide* out) {
+  const uint64_t n = positions.size();
+  std::vector<uint32_t> order(n);
+  for (uint64_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    const float* pa = features.data() + size_t(a) * dims;
+    const float* pb = features.data() + size_t(b) * dims;
+    for (size_t d = 0; d < dims; ++d) {
+      const int64_t ca = CellOf(pa[d], cell_width);
+      const int64_t cb = CellOf(pb[d], cell_width);
+      if (ca != cb) return ca < cb;
+    }
+    return positions[a] < positions[b];
+  });
+  if (ops != nullptr && n > 1) {
+    // CPU cost of the reordering (n log n key comparisons of `dims` cells).
+    ops->filter_checks += static_cast<uint64_t>(
+        double(n) * std::log2(double(n)) * dims);
+  }
+
+  out->dims = dims;
+  out->features.resize(features.size());
+  out->positions.resize(n);
+  out->cell0.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint32_t src = order[i];
+    std::copy_n(features.data() + size_t(src) * dims, dims,
+                out->features.data() + i * dims);
+    out->positions[i] = positions[src];
+    out->cell0[i] = CellOf(out->features[i * dims], cell_width);
+  }
+  out->records_per_page = std::max<uint32_t>(
+      1, page_size_bytes / (static_cast<uint32_t>(dims) * sizeof(float)));
+  out->num_pages = static_cast<uint32_t>(
+      (n + out->records_per_page - 1) / out->records_per_page);
+  out->file = disk->CreateFile(name, out->num_pages);
+  // The reorder itself is the external sort.
+  PMJOIN_RETURN_IF_ERROR(
+      ChargeExternalSort(disk, out->num_pages, buffer));
+  return Status::OK();
+}
+
+/// The EGO sweep: for every pair whose cells differ by at most 1 in every
+/// dimension *and* whose feature distance is within `threshold`, invokes
+/// `emit(pos_r, pos_s)`. I/O flows through `pool` (R sequential, S via the
+/// first-dimension band window; a band wider than the buffer thrashes,
+/// which is EGO's failure mode at small buffers).
+Status EgoSweep(const EgoSide& r, const EgoSide& s, double cell_width,
+                Norm norm, double threshold, BufferPool* pool,
+                OpCounters* ops,
+                const std::function<void(uint64_t, uint64_t)>& emit) {
+  if (r.count() == 0 || s.count() == 0) return Status::OK();
+  for (uint32_t rp = 0; rp < r.num_pages; ++rp) {
+    PMJOIN_RETURN_IF_ERROR(pool->Pin(PageId{r.file, rp}));
+    const uint64_t a = uint64_t(rp) * r.records_per_page;
+    const uint64_t b = std::min<uint64_t>(a + r.records_per_page, r.count());
+    // Page-level band over S from this page's cell0 range.
+    const int64_t lo_cell = r.cell0[a] - 1;
+    const int64_t hi_cell = r.cell0[b - 1] + 1;
+    const uint64_t s_lo =
+        std::lower_bound(s.cell0.begin(), s.cell0.end(), lo_cell) -
+        s.cell0.begin();
+    const uint64_t s_hi =
+        std::upper_bound(s.cell0.begin(), s.cell0.end(), hi_cell) -
+        s.cell0.begin();
+    if (s_lo >= s_hi) {
+      pool->Unpin(PageId{r.file, rp});
+      continue;
+    }
+    const uint32_t sp_lo = s.PageOf(s_lo);
+    const uint32_t sp_hi = s.PageOf(s_hi - 1);
+    for (uint32_t sp = sp_lo; sp <= sp_hi; ++sp) {
+      PMJOIN_RETURN_IF_ERROR(pool->Pin(PageId{s.file, sp}));
+      const uint64_t sa = std::max<uint64_t>(
+          s_lo, uint64_t(sp) * s.records_per_page);
+      const uint64_t sb = std::min<uint64_t>(
+          s_hi, uint64_t(sp + 1) * s.records_per_page);
+      for (uint64_t i = a; i < b; ++i) {
+        const std::span<const float> x = r.Row(i);
+        for (uint64_t j = sa; j < sb; ++j) {
+          // Cell band test, dimension by dimension.
+          bool band = true;
+          const std::span<const float> y = s.Row(j);
+          for (size_t d = 0; d < r.dims; ++d) {
+            if (ops != nullptr) ++ops->filter_checks;
+            const int64_t cd =
+                CellOf(x[d], cell_width) - CellOf(y[d], cell_width);
+            if (cd < -1 || cd > 1) {
+              band = false;
+              break;
+            }
+          }
+          if (!band) continue;
+          if (ops != nullptr) ops->distance_terms += r.dims;
+          if (WithinDistance(x, y, norm, threshold)) {
+            emit(r.positions[i], s.positions[j]);
+          }
+        }
+      }
+      pool->Unpin(PageId{s.file, sp});
+    }
+    pool->Unpin(PageId{r.file, rp});
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EgoJoinVectors(const VectorDataset& r, const VectorDataset& s,
+                      bool self_join, double eps, Norm norm,
+                      SimulatedDisk* disk, BufferPool* pool, PairSink* sink,
+                      OpCounters* ops) {
+  if (self_join && &r != &s)
+    return Status::InvalidArgument("self_join requires identical datasets");
+  // Extract features (the records themselves) by scanning the base files.
+  auto extract = [&](const VectorDataset& ds, std::string_view name,
+                     EgoSide* side) -> Status {
+    PMJOIN_RETURN_IF_ERROR(disk->ScanFile(ds.file_id()));
+    std::vector<float> features;
+    std::vector<uint64_t> positions;
+    features.reserve(ds.num_records() * ds.dims());
+    positions.reserve(ds.num_records());
+    for (uint32_t p = 0; p < ds.num_pages(); ++p) {
+      for (uint32_t slot = 0; slot < ds.PageRecordCount(p); ++slot) {
+        const std::span<const float> rec = ds.Record(p, slot);
+        features.insert(features.end(), rec.begin(), rec.end());
+        positions.push_back(ds.OriginalId(p, slot));
+      }
+    }
+    return BuildEgoSide(disk, name, std::move(features),
+                        std::move(positions), ds.dims(), eps,
+                        /*page_size_bytes=*/4096, pool->capacity(), ops,
+                        side);
+  };
+
+  EgoSide er;
+  PMJOIN_RETURN_IF_ERROR(extract(r, "ego-r", &er));
+  EgoSide es;
+  if (!self_join) {
+    PMJOIN_RETURN_IF_ERROR(extract(s, "ego-s", &es));
+  }
+  const EgoSide& sref = self_join ? er : es;
+
+  return EgoSweep(er, sref, eps, norm, eps, pool, ops,
+                  [&](uint64_t a, uint64_t b) {
+                    if (self_join && a >= b) return;
+                    sink->OnPair(a, b);
+                    if (ops != nullptr) ++ops->result_pairs;
+                  });
+}
+
+namespace {
+
+/// Shared sequence-EGO driver: materialize per-window features (charging
+/// the original scan + materialized write), sweep in feature space, verify
+/// candidates against the original pages with random reads.
+template <typename VerifyFn>
+Status EgoJoinSequenceImpl(SimulatedDisk* disk, BufferPool* pool,
+                           OpCounters* ops, bool self_join,
+                           std::vector<float> r_feat,
+                           std::vector<uint64_t> r_pos,
+                           std::vector<float> s_feat,
+                           std::vector<uint64_t> s_pos, size_t dims,
+                           double cell_width, Norm norm, double threshold,
+                           uint32_t original_r_file,
+                           uint32_t original_s_file,
+                           const VerifyFn& verify) {
+  PMJOIN_RETURN_IF_ERROR(disk->ScanFile(original_r_file));
+  EgoSide er;
+  PMJOIN_RETURN_IF_ERROR(BuildEgoSide(disk, "ego-seq-r", std::move(r_feat),
+                                      std::move(r_pos), dims, cell_width,
+                                      4096, pool->capacity(), ops, &er));
+  EgoSide es;
+  if (!self_join) {
+    PMJOIN_RETURN_IF_ERROR(disk->ScanFile(original_s_file));
+    PMJOIN_RETURN_IF_ERROR(BuildEgoSide(disk, "ego-seq-s",
+                                        std::move(s_feat), std::move(s_pos),
+                                        dims, cell_width, 4096,
+                                        pool->capacity(), ops, &es));
+  }
+  const EgoSide& sref = self_join ? er : es;
+  return EgoSweep(er, sref, cell_width, norm, threshold, pool, ops, verify);
+}
+
+}  // namespace
+
+Status EgoJoinTimeSeries(const TimeSeriesStore& r, const TimeSeriesStore& s,
+                         bool self_join, double eps, SimulatedDisk* disk,
+                         BufferPool* pool, PairSink* sink,
+                         OpCounters* ops) {
+  if (self_join && &r != &s)
+    return Status::InvalidArgument("self_join requires identical stores");
+  const uint32_t L = r.layout().window_len;
+  const uint32_t f = r.paa_dims();
+  const double scale = PaaScale(L, f);
+  const double feat_eps = eps / scale;
+
+  auto features_of = [&](const TimeSeriesStore& store,
+                         std::vector<float>* feat,
+                         std::vector<uint64_t>* pos) {
+    const uint64_t n = store.layout().NumWindows();
+    feat->reserve(n * f);
+    pos->reserve(n);
+    std::vector<float> paa(f);
+    for (uint64_t w = 0; w < n; ++w) {
+      PaaTransform(store.values().subspan(w, L), f, paa);
+      feat->insert(feat->end(), paa.begin(), paa.end());
+      pos->push_back(w);
+      if (ops != nullptr) ops->filter_checks += L;  // Materialization CPU.
+    }
+  };
+
+  std::vector<float> rf, sf;
+  std::vector<uint64_t> rp, sp;
+  features_of(r, &rf, &rp);
+  if (!self_join) features_of(s, &sf, &sp);
+
+  const double eps2 = eps * eps;
+  auto verify = [&](uint64_t wx, uint64_t wy) {
+    if (self_join && wx + L > wy) return;
+    // Random reads of the original pages holding the two windows.
+    const PageId px{r.file_id(), r.layout().PageOfWindow(wx)};
+    const PageId py{s.file_id(), s.layout().PageOfWindow(wy)};
+    if (pool->Pin(px).ok()) {
+      if (pool->Pin(py).ok()) {
+        if (ops != nullptr) ops->distance_terms += L;
+        double sq = 0.0;
+        for (uint32_t t = 0; t < L; ++t) {
+          const double d =
+              double(r.values()[wx + t]) - s.values()[wy + t];
+          sq += d * d;
+          if (sq > eps2) break;
+        }
+        if (sq <= eps2) {
+          sink->OnPair(wx, wy);
+          if (ops != nullptr) ++ops->result_pairs;
+        }
+        pool->Unpin(py);
+      }
+      pool->Unpin(px);
+    }
+  };
+
+  return EgoJoinSequenceImpl(disk, pool, ops, self_join, std::move(rf),
+                             std::move(rp), std::move(sf), std::move(sp), f,
+                             feat_eps, Norm::kL2, feat_eps, r.file_id(),
+                             s.file_id(), verify);
+}
+
+Status EgoJoinStrings(const StringSequenceStore& r,
+                      const StringSequenceStore& s, bool self_join,
+                      uint32_t max_edits, SimulatedDisk* disk,
+                      BufferPool* pool, PairSink* sink, OpCounters* ops) {
+  if (self_join && &r != &s)
+    return Status::InvalidArgument("self_join requires identical stores");
+  const uint32_t L = r.layout().window_len;
+  const uint32_t A = r.alphabet_size();
+  // Feature space: letter-frequency vectors under L1 with threshold 2k
+  // (ED >= L1/2); grid cell width = the threshold.
+  const double threshold = 2.0 * max_edits;
+  const double cell_width = std::max(1.0, threshold);
+
+  auto features_of = [&](const StringSequenceStore& store,
+                         std::vector<float>* feat,
+                         std::vector<uint64_t>* pos) {
+    const uint64_t n = store.layout().NumWindows();
+    feat->reserve(n * A);
+    pos->reserve(n);
+    std::vector<uint32_t> freq = BuildFrequencyVector(
+        store.symbols().subspan(0, L), A);
+    for (uint64_t w = 0; w < n; ++w) {
+      for (uint32_t c = 0; c < A; ++c)
+        feat->push_back(static_cast<float>(freq[c]));
+      pos->push_back(w);
+      if (ops != nullptr) ++ops->filter_checks;
+      if (w + 1 < n) {
+        --freq[store.symbols()[w]];
+        ++freq[store.symbols()[w + L]];
+      }
+    }
+  };
+
+  std::vector<float> rf, sf;
+  std::vector<uint64_t> rp, sp;
+  features_of(r, &rf, &rp);
+  if (!self_join) features_of(s, &sf, &sp);
+
+  auto verify = [&](uint64_t wx, uint64_t wy) {
+    if (self_join && wx + L > wy) return;
+    const PageId px{r.file_id(), r.layout().PageOfWindow(wx)};
+    const PageId py{s.file_id(), s.layout().PageOfWindow(wy)};
+    if (pool->Pin(px).ok()) {
+      if (pool->Pin(py).ok()) {
+        const size_t ed = BandedEditDistance(
+            r.symbols().subspan(wx, L), s.symbols().subspan(wy, L),
+            max_edits, ops);
+        if (ed <= max_edits) {
+          sink->OnPair(wx, wy);
+          if (ops != nullptr) ++ops->result_pairs;
+        }
+        pool->Unpin(py);
+      }
+      pool->Unpin(px);
+    }
+  };
+
+  return EgoJoinSequenceImpl(disk, pool, ops, self_join, std::move(rf),
+                             std::move(rp), std::move(sf), std::move(sp), A,
+                             cell_width, Norm::kL1, threshold, r.file_id(),
+                             s.file_id(), verify);
+}
+
+}  // namespace pmjoin

@@ -1,0 +1,187 @@
+#include "baselines/pbsm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace pmjoin {
+namespace {
+
+/// One replicated record reference inside a partition.
+struct PartEntry {
+  /// 0 = from R, 1 = from S.
+  uint8_t side = 0;
+  uint32_t page = 0;
+  uint32_t slot = 0;
+  /// Tile the entry was replicated into (for reference-point dedup).
+  uint32_t tile = 0;
+};
+
+/// 2-d tile grid over the first two dimensions of the joint space.
+class TileGrid {
+ public:
+  TileGrid(const Mbr& space, uint32_t grid) : grid_(grid) {
+    lo_[0] = space.lo(0);
+    lo_[1] = space.dims() > 1 ? space.lo(1) : 0.0f;
+    const float w0 = space.hi(0) - space.lo(0);
+    const float w1 =
+        space.dims() > 1 ? space.hi(1) - space.lo(1) : 1.0f;
+    step_[0] = w0 > 0 ? w0 / grid : 1.0f;
+    step_[1] = w1 > 0 ? w1 / grid : 1.0f;
+  }
+
+  uint32_t CellCoord(double v, int axis) const {
+    const double c = (v - lo_[axis]) / step_[axis];
+    if (c <= 0.0) return 0;
+    if (c >= grid_) return grid_ - 1;
+    return static_cast<uint32_t>(c);
+  }
+
+  /// Tile of a point (first two dims).
+  uint32_t TileOf(std::span<const float> point) const {
+    const uint32_t x = CellCoord(point[0], 0);
+    const uint32_t y =
+        point.size() > 1 ? CellCoord(point[1], 1) : 0;
+    return x * grid_ + y;
+  }
+
+  /// Tile range touched by the point's ε/2-extended box.
+  void TileRange(std::span<const float> point, double half_eps,
+                 uint32_t* x0, uint32_t* x1, uint32_t* y0,
+                 uint32_t* y1) const {
+    *x0 = CellCoord(point[0] - half_eps, 0);
+    *x1 = CellCoord(point[0] + half_eps, 0);
+    if (point.size() > 1) {
+      *y0 = CellCoord(point[1] - half_eps, 1);
+      *y1 = CellCoord(point[1] + half_eps, 1);
+    } else {
+      *y0 = *y1 = 0;
+    }
+  }
+
+  uint32_t grid() const { return grid_; }
+
+ private:
+  uint32_t grid_;
+  float lo_[2];
+  float step_[2];
+};
+
+}  // namespace
+
+Status PbsmJoinVectors(const VectorDataset& r, const VectorDataset& s,
+                       bool self_join, double eps, Norm norm,
+                       SimulatedDisk* disk, BufferPool* pool,
+                       PairSink* sink, OpCounters* ops,
+                       const PbsmOptions& options) {
+  if (self_join && &r != &s)
+    return Status::InvalidArgument("self_join requires identical datasets");
+  if (options.grid == 0)
+    return Status::InvalidArgument("PBSM: grid must be positive");
+
+  // Joint space: union of both datasets' root MBRs.
+  Mbr space(r.dims());
+  for (uint32_t p = 0; p < r.num_pages(); ++p) space.Expand(r.PageMbr(p));
+  for (uint32_t p = 0; p < s.num_pages(); ++p) space.Expand(s.PageMbr(p));
+  const TileGrid tiles(space, options.grid);
+
+  // Partition count: each partition's record load should fit in half the
+  // buffer (the other half hosts the sweep working set).
+  uint32_t partitions = options.partitions;
+  if (partitions == 0) {
+    const uint64_t total_pages = uint64_t(r.num_pages()) + s.num_pages();
+    const uint64_t budget = std::max<uint32_t>(1, pool->capacity() / 2);
+    partitions = static_cast<uint32_t>(
+        std::max<uint64_t>(1, (total_pages + budget - 1) / budget));
+  }
+
+  // Tile -> partition, round robin (the paper's description).
+  auto partition_of_tile = [partitions](uint32_t tile) {
+    return tile % partitions;
+  };
+
+  // Phase 1: scan both datasets sequentially, assigning (replicating)
+  // records to partitions.
+  std::vector<std::vector<PartEntry>> parts(partitions);
+  const double half_eps = eps / 2.0;
+  auto assign = [&](const VectorDataset& ds, uint8_t side) -> Status {
+    PMJOIN_RETURN_IF_ERROR(disk->ScanFile(ds.file_id()));
+    for (uint32_t p = 0; p < ds.num_pages(); ++p) {
+      for (uint32_t slot = 0; slot < ds.PageRecordCount(p); ++slot) {
+        const std::span<const float> rec = ds.Record(p, slot);
+        uint32_t x0, x1, y0, y1;
+        tiles.TileRange(rec, half_eps, &x0, &x1, &y0, &y1);
+        for (uint32_t x = x0; x <= x1; ++x) {
+          for (uint32_t y = y0; y <= y1; ++y) {
+            if (ops != nullptr) ++ops->filter_checks;
+            const uint32_t tile = x * tiles.grid() + y;
+            parts[partition_of_tile(tile)].push_back(
+                PartEntry{side, p, slot, tile});
+          }
+        }
+      }
+    }
+    return Status::OK();
+  };
+  PMJOIN_RETURN_IF_ERROR(assign(r, 0));
+  if (!self_join) PMJOIN_RETURN_IF_ERROR(assign(s, 1));
+
+  // Charge the partition-file writes (and later reads). Entries are
+  // (side, page, slot, tile) references plus the record payload — PBSM
+  // stores the records themselves in the partitions.
+  const uint32_t entry_bytes =
+      static_cast<uint32_t>(r.dims() * sizeof(float)) + 8;
+  const uint32_t page_bytes = 4096;
+  std::vector<uint32_t> part_files(partitions);
+  for (uint32_t part = 0; part < partitions; ++part) {
+    const uint64_t bytes = uint64_t(parts[part].size()) * entry_bytes;
+    const uint32_t pages =
+        static_cast<uint32_t>((bytes + page_bytes - 1) / page_bytes);
+    part_files[part] = disk->CreateFile(
+        "pbsm-part-" + std::to_string(part), pages);
+    for (uint32_t pg = 0; pg < pages; ++pg) {
+      PMJOIN_RETURN_IF_ERROR(disk->WritePage({part_files[part], pg}));
+    }
+  }
+
+  // Phase 2: per partition, read it back and join in memory.
+  const VectorDataset& s_side = self_join ? r : s;
+  for (uint32_t part = 0; part < partitions; ++part) {
+    const uint32_t pages = disk->file(part_files[part]).num_pages;
+    if (pages > 0) {
+      PMJOIN_RETURN_IF_ERROR(disk->ReadRun({part_files[part], 0}, pages));
+    }
+    const std::vector<PartEntry>& entries = parts[part];
+    // Split sides (self join: the same entries serve as both sides).
+    std::vector<const PartEntry*> rs, ss;
+    for (const PartEntry& e : entries) {
+      if (e.side == 0) rs.push_back(&e);
+      if (e.side == 1 || self_join) ss.push_back(&e);
+    }
+    for (const PartEntry* a : rs) {
+      const std::span<const float> x = r.Record(a->page, a->slot);
+      const uint64_t xid = r.OriginalId(a->page, a->slot);
+      for (const PartEntry* b : ss) {
+        if (ops != nullptr) ops->distance_terms += r.dims();
+        const std::span<const float> y =
+            s_side.Record(b->page, b->slot);
+        if (!WithinDistance(x, y, norm, eps)) continue;
+        const uint64_t yid = s_side.OriginalId(b->page, b->slot);
+        if (self_join && xid >= yid) continue;
+        // Reference-point dedup: midpoint tile must be this pair's tile
+        // in *both* replicas and owned by this partition.
+        std::vector<float> mid(r.dims());
+        for (size_t d = 0; d < r.dims(); ++d)
+          mid[d] = 0.5f * (x[d] + y[d]);
+        const uint32_t mid_tile = tiles.TileOf(mid);
+        if (a->tile != mid_tile || b->tile != mid_tile) continue;
+        sink->OnPair(xid, yid);
+        if (ops != nullptr) ++ops->result_pairs;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pmjoin

@@ -1,0 +1,52 @@
+#ifndef PMJOIN_BASELINES_PBSM_H_
+#define PMJOIN_BASELINES_PBSM_H_
+
+#include <cstdint>
+
+#include "common/op_counters.h"
+#include "common/pair_sink.h"
+#include "common/status.h"
+#include "data/vector_dataset.h"
+#include "geom/distance.h"
+#include "io/buffer_pool.h"
+
+namespace pmjoin {
+
+/// Options for the PBSM baseline.
+struct PbsmOptions {
+  /// Tiles per axis of the partitioning grid.
+  uint32_t grid = 32;
+
+  /// Number of partitions; 0 = choose so one partition pair of records
+  /// fits in half the buffer.
+  uint32_t partitions = 0;
+};
+
+/// Partition-Based Spatial Merge join (Patel & DeWitt, SIGMOD '96) —
+/// described in the paper's related work (§2.1) as one of the standard
+/// non-index spatial joins; implemented here as an additional baseline
+/// beyond the paper's evaluated three.
+///
+/// Adaptation to the ε-join on points: the joint data space is cut into a
+/// `grid`×`grid` tile grid; tiles are assigned round-robin to partitions;
+/// each record lands in the partition of every tile its ε/2-extended box
+/// touches (replication, the PBSM analogue of objects spanning tiles).
+/// Phase 1 scans both datasets and writes the partition files (charged);
+/// phase 2 reads each partition pair and joins it in memory. Replication
+/// duplicates are suppressed with the reference-point method: a pair is
+/// reported only in the partition owning the tile of the pair's midpoint
+/// (both endpoints are within ε/2 of the midpoint, so both are guaranteed
+/// to be replicated into that tile).
+///
+/// 2-d only is typical for PBSM; this implementation works for any
+/// dimensionality but tiles only the first two dimensions (the grid
+/// becomes a poor filter in high-d, which is PBSM's known failure mode).
+Status PbsmJoinVectors(const VectorDataset& r, const VectorDataset& s,
+                       bool self_join, double eps, Norm norm,
+                       SimulatedDisk* disk, BufferPool* pool,
+                       PairSink* sink, OpCounters* ops,
+                       const PbsmOptions& options = PbsmOptions());
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_BASELINES_PBSM_H_

@@ -1,0 +1,6 @@
+#include "common/cost_model.h"
+
+// CpuCostModel is header-only today; this translation unit anchors the
+// header in the build so include errors surface immediately.
+
+namespace pmjoin {}  // namespace pmjoin

@@ -1,0 +1,52 @@
+#ifndef PMJOIN_COMMON_OP_COUNTERS_H_
+#define PMJOIN_COMMON_OP_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pmjoin {
+
+/// CPU work counters shared by all join operators.
+///
+/// The paper reports CPU-join cost separately from I/O cost (Figs. 10–11).
+/// We count the dominant CPU operations explicitly so that the modeled CPU
+/// time is deterministic and machine-independent; `CostModel` converts these
+/// counts into modeled seconds.
+struct OpCounters {
+  /// Full distance evaluations between records, weighted by dimensionality:
+  /// one d-dimensional Lp evaluation adds `d` to this counter.
+  uint64_t distance_terms = 0;
+
+  /// Record-pair candidacy checks that were resolved by a cheap filter
+  /// (MINDIST, frequency distance, incremental diagonal update) without a
+  /// full distance evaluation. Each adds 1.
+  uint64_t filter_checks = 0;
+
+  /// Dynamic-programming cells evaluated by edit-distance computations.
+  uint64_t edit_cells = 0;
+
+  /// MBR–MBR intersection / MINDIST tests (matrix construction, tree join).
+  uint64_t mbr_tests = 0;
+
+  /// Prediction-matrix entries touched by clustering / scheduling
+  /// (preprocessing work, reported as "Preprocess" in Fig. 10).
+  uint64_t cluster_ops = 0;
+
+  /// Number of result pairs emitted.
+  uint64_t result_pairs = 0;
+
+  /// Element-wise sum.
+  OpCounters& operator+=(const OpCounters& other);
+
+  /// Difference (this - other); counters are monotonic so use with
+  /// snapshots taken before/after a phase.
+  OpCounters Delta(const OpCounters& start) const;
+
+  void Reset() { *this = OpCounters(); }
+
+  std::string ToString() const;
+};
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_COMMON_OP_COUNTERS_H_

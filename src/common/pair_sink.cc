@@ -1,0 +1,20 @@
+#include "common/pair_sink.h"
+
+#include <algorithm>
+
+namespace pmjoin {
+
+std::vector<uint64_t> SemiJoinSink::Sorted() const {
+  std::vector<uint64_t> out(left_ids_.begin(), left_ids_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> CollectingSink::Sorted() const {
+  std::vector<std::pair<uint64_t, uint64_t>> out = pairs_;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace pmjoin

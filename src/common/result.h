@@ -1,0 +1,78 @@
+#ifndef PMJOIN_COMMON_RESULT_H_
+#define PMJOIN_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace pmjoin {
+
+/// Holds either a value of type `T` or a non-OK `Status`.
+///
+/// The usual way to consume a `Result<T>`:
+///
+///   Result<VectorDataset> ds = VectorDataset::Build(...);
+///   if (!ds.ok()) return ds.status();
+///   Use(ds.value());
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs a failed result. `status` must be non-OK.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status; OK iff a value is present.
+  const Status& status() const { return status_; }
+
+  /// The contained value. Must only be called when `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Dereference sugar, mirroring std::optional.
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates the error of a Result expression, otherwise assigns its value.
+#define PMJOIN_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto PMJOIN_CONCAT_(_res_, __LINE__) = (expr); \
+  if (!PMJOIN_CONCAT_(_res_, __LINE__).ok())     \
+    return PMJOIN_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(PMJOIN_CONCAT_(_res_, __LINE__)).value()
+
+#define PMJOIN_CONCAT_INNER_(a, b) a##b
+#define PMJOIN_CONCAT_(a, b) PMJOIN_CONCAT_INNER_(a, b)
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_COMMON_RESULT_H_

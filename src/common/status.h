@@ -1,0 +1,103 @@
+#ifndef PMJOIN_COMMON_STATUS_H_
+#define PMJOIN_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace pmjoin {
+
+/// Lightweight error-reporting type used across all fallible public APIs.
+///
+/// pmjoin does not throw exceptions across its public interfaces; operations
+/// that may fail return a `Status` (or a `Result<T>`, see result.h). This is
+/// the same error-handling idiom used by RocksDB and LevelDB.
+class Status {
+ public:
+  /// Error categories. `kOk` signals success; everything else is a failure.
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kIoError,
+    kCorruption,
+    kOutOfRange,
+    kBufferFull,
+    kUnimplemented,
+    kInternal,
+  };
+
+  /// Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory functions, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status IoError(std::string_view msg) {
+    return Status(Code::kIoError, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(Code::kOutOfRange, msg);
+  }
+  static Status BufferFull(std::string_view msg) {
+    return Status(Code::kBufferFull, msg);
+  }
+  static Status Unimplemented(std::string_view msg) {
+    return Status(Code::kUnimplemented, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(Code::kInternal, msg);
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == Code::kOk; }
+
+  /// The error category.
+  Code code() const { return code_; }
+
+  /// The human-readable error message (empty for OK).
+  const std::string& message() const { return message_; }
+
+  /// Per-category predicates, mirroring the factory names.
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsIoError() const { return code_ == Code::kIoError; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsBufferFull() const { return code_ == Code::kBufferFull; }
+  bool IsUnimplemented() const { return code_ == Code::kUnimplemented; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  /// Renders e.g. "IoError: page 12 out of bounds" or "OK".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define PMJOIN_RETURN_IF_ERROR(expr)             \
+  do {                                           \
+    ::pmjoin::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_COMMON_STATUS_H_

@@ -1,0 +1,48 @@
+#include "core/cluster.h"
+
+#include <algorithm>
+#include <set>
+
+namespace pmjoin {
+
+std::vector<PageId> ClusterPageSet(const Cluster& cluster,
+                                   const JoinInput& input) {
+  std::vector<PageId> pages;
+  pages.reserve(cluster.rows.size() + cluster.cols.size());
+  for (uint32_t r : cluster.rows) pages.push_back(input.RPage(r));
+  for (uint32_t c : cluster.cols) pages.push_back(input.SPage(c));
+  std::sort(pages.begin(), pages.end());
+  pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+  return pages;
+}
+
+Status ValidateClustering(const PredictionMatrix& matrix,
+                          const std::vector<Cluster>& clusters,
+                          uint32_t buffer_pages) {
+  std::set<std::pair<uint32_t, uint32_t>> assigned;
+  for (const Cluster& cluster : clusters) {
+    if (cluster.entries.empty())
+      return Status::Internal("empty cluster");
+    if (cluster.PageCount() > buffer_pages)
+      return Status::Internal("cluster exceeds buffer");
+    if (!std::is_sorted(cluster.rows.begin(), cluster.rows.end()) ||
+        !std::is_sorted(cluster.cols.begin(), cluster.cols.end()))
+      return Status::Internal("cluster row/col lists not sorted");
+    for (const MatrixEntry& e : cluster.entries) {
+      if (!matrix.IsMarked(e.row, e.col))
+        return Status::Internal("cluster contains unmarked entry");
+      if (!std::binary_search(cluster.rows.begin(), cluster.rows.end(),
+                              e.row) ||
+          !std::binary_search(cluster.cols.begin(), cluster.cols.end(),
+                              e.col))
+        return Status::Internal("entry outside cluster row/col lists");
+      if (!assigned.emplace(e.row, e.col).second)
+        return Status::Internal("entry assigned to two clusters");
+    }
+  }
+  if (assigned.size() != matrix.MarkedCount())
+    return Status::Internal("not all marked entries assigned");
+  return Status::OK();
+}
+
+}  // namespace pmjoin

@@ -1,0 +1,46 @@
+#ifndef PMJOIN_CORE_CLUSTER_H_
+#define PMJOIN_CORE_CLUSTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/joiners.h"
+#include "core/prediction_matrix.h"
+#include "io/page_file.h"
+
+namespace pmjoin {
+
+/// A cluster of marked prediction-matrix entries (§7): its marked rows and
+/// columns are the pages that must be buffer-resident to join all of its
+/// entries in memory (Lemma 2: r + c <= B page reads suffice).
+struct Cluster {
+  /// Marked R pages (rows) of this cluster, ascending.
+  std::vector<uint32_t> rows;
+  /// Marked S pages (columns) of this cluster, ascending.
+  std::vector<uint32_t> cols;
+  /// The marked entries assigned to this cluster.
+  std::vector<MatrixEntry> entries;
+
+  /// rows + cols (the Lemma-2 page bound; for a self join the physical
+  /// page set can be smaller — see PageSet).
+  uint32_t PageCount() const {
+    return static_cast<uint32_t>(rows.size() + cols.size());
+  }
+};
+
+/// The physical pages a cluster needs (deduplicated: in a self join a page
+/// can be both a row and a column).
+std::vector<PageId> ClusterPageSet(const Cluster& cluster,
+                                   const JoinInput& input);
+
+/// Validates a clustering against the matrix it was built from: every
+/// marked entry assigned to exactly one cluster, every cluster entry
+/// consistent with its row/col lists, and PageCount() <= buffer_pages.
+/// Used by tests and (in debug builds) the executor.
+Status ValidateClustering(const PredictionMatrix& matrix,
+                          const std::vector<Cluster>& clusters,
+                          uint32_t buffer_pages);
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_CORE_CLUSTER_H_

@@ -1,0 +1,432 @@
+#include "core/cost_clustering.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <set>
+
+namespace pmjoin {
+namespace {
+
+/// Sorted page-id set with incremental run (seek-group) tracking: the
+/// modeled cost of reading the set is transfers·|set| + seeks·runs, where
+/// a run is a maximal stretch of consecutive ids.
+class PageSet {
+ public:
+  bool Contains(uint32_t p) const { return set_.count(p) > 0; }
+  size_t size() const { return set_.size(); }
+  uint32_t runs() const { return runs_; }
+
+  void Insert(uint32_t p) {
+    if (!set_.insert(p).second) return;
+    const bool left = set_.count(p - 1) > 0 && p > 0;
+    const bool right = set_.count(p + 1) > 0;
+    if (left && right) {
+      --runs_;  // Bridges two runs.
+    } else if (!left && !right) {
+      ++runs_;  // New isolated run.
+    }  // Extending one run: unchanged.
+  }
+
+  /// Run delta if `p` were inserted (0 if already present).
+  int RunDeltaIfInserted(uint32_t p) const {
+    if (Contains(p)) return 0;
+    const bool left = p > 0 && set_.count(p - 1) > 0;
+    const bool right = set_.count(p + 1) > 0;
+    if (left && right) return -1;
+    if (!left && !right) return 1;
+    return 0;
+  }
+
+  std::vector<uint32_t> ToVector() const {
+    return std::vector<uint32_t>(set_.begin(), set_.end());
+  }
+
+ private:
+  std::set<uint32_t> set_;
+  uint32_t runs_ = 0;
+};
+
+/// Marked-entry store with per-row/per-column unassigned bookkeeping.
+class EntryStore {
+ public:
+  explicit EntryStore(const PredictionMatrix& matrix) : matrix_(matrix) {
+    row_offset_.resize(matrix.rows() + 1, 0);
+    for (uint32_t r = 0; r < matrix.rows(); ++r) {
+      row_offset_[r + 1] =
+          row_offset_[r] + static_cast<uint64_t>(matrix.RowEntries(r).size());
+    }
+    assigned_.assign(matrix.MarkedCount(), 0);
+    row_remaining_.resize(matrix.rows());
+    for (uint32_t r = 0; r < matrix.rows(); ++r)
+      row_remaining_[r] = static_cast<uint32_t>(matrix.RowEntries(r).size());
+    col_rows_.resize(matrix.cols());
+    for (uint32_t r = 0; r < matrix.rows(); ++r) {
+      for (uint32_t c : matrix.RowEntries(r)) col_rows_[c].push_back(r);
+    }
+    col_remaining_.resize(matrix.cols());
+    for (uint32_t c = 0; c < matrix.cols(); ++c)
+      col_remaining_[c] = static_cast<uint32_t>(col_rows_[c].size());
+    remaining_ = matrix.MarkedCount();
+  }
+
+  uint64_t remaining() const { return remaining_; }
+
+  uint64_t EntryIndex(uint32_t r, uint32_t c) const {
+    const std::vector<uint32_t>& cols = matrix_.RowEntries(r);
+    const auto it = std::lower_bound(cols.begin(), cols.end(), c);
+    assert(it != cols.end() && *it == c);
+    return row_offset_[r] + static_cast<uint64_t>(it - cols.begin());
+  }
+
+  bool IsAssigned(uint32_t r, uint32_t c) const {
+    return assigned_[EntryIndex(r, c)] != 0;
+  }
+
+  void Assign(uint32_t r, uint32_t c) {
+    const uint64_t idx = EntryIndex(r, c);
+    assert(assigned_[idx] == 0);
+    assigned_[idx] = 1;
+    --row_remaining_[r];
+    --col_remaining_[c];
+    --remaining_;
+  }
+
+  uint32_t RowRemaining(uint32_t r) const { return row_remaining_[r]; }
+  uint32_t ColRemaining(uint32_t c) const { return col_remaining_[c]; }
+
+  /// Unassigned marked rows of column c.
+  const std::vector<uint32_t>& ColRows(uint32_t c) const {
+    return col_rows_[c];
+  }
+
+  const PredictionMatrix& matrix() const { return matrix_; }
+
+ private:
+  const PredictionMatrix& matrix_;
+  std::vector<uint64_t> row_offset_;
+  std::vector<uint8_t> assigned_;
+  std::vector<uint32_t> row_remaining_;
+  std::vector<uint32_t> col_remaining_;
+  std::vector<std::vector<uint32_t>> col_rows_;
+  uint64_t remaining_ = 0;
+};
+
+/// Density histogram over the matrix grid (Fig. 8 step 2).
+class DensityHistogram {
+ public:
+  DensityHistogram(const PredictionMatrix& matrix, uint32_t resolution)
+      : rows_(matrix.rows()), cols_(matrix.cols()) {
+    res_r_ = std::min(resolution, std::max(1u, rows_));
+    res_c_ = std::min(resolution, std::max(1u, cols_));
+    counts_.assign(size_t(res_r_) * res_c_, 0);
+    for (uint32_t r = 0; r < rows_; ++r) {
+      for (uint32_t c : matrix.RowEntries(r)) ++counts_[Bucket(r, c)];
+    }
+  }
+
+  void Remove(uint32_t r, uint32_t c) { --counts_[Bucket(r, c)]; }
+
+  /// The fullest bucket's row/col ranges. Requires a non-empty histogram.
+  void DensestBucket(uint32_t* r_lo, uint32_t* r_hi, uint32_t* c_lo,
+                     uint32_t* c_hi) const {
+    size_t best = 0;
+    for (size_t b = 1; b < counts_.size(); ++b) {
+      if (counts_[b] > counts_[best]) best = b;
+    }
+    const uint32_t br = static_cast<uint32_t>(best / res_c_);
+    const uint32_t bc = static_cast<uint32_t>(best % res_c_);
+    *r_lo = br * ((rows_ + res_r_ - 1) / res_r_);
+    *r_hi = std::min(rows_, (br + 1) * ((rows_ + res_r_ - 1) / res_r_));
+    *c_lo = bc * ((cols_ + res_c_ - 1) / res_c_);
+    *c_hi = std::min(cols_, (bc + 1) * ((cols_ + res_c_ - 1) / res_c_));
+  }
+
+ private:
+  size_t Bucket(uint32_t r, uint32_t c) const {
+    const uint32_t stride_r = (rows_ + res_r_ - 1) / res_r_;
+    const uint32_t stride_c = (cols_ + res_c_ - 1) / res_c_;
+    const uint32_t br = std::min(res_r_ - 1, r / stride_r);
+    const uint32_t bc = std::min(res_c_ - 1, c / stride_c);
+    return size_t(br) * res_c_ + bc;
+  }
+
+  uint32_t rows_, cols_;
+  uint32_t res_r_ = 1, res_c_ = 1;
+  std::vector<uint64_t> counts_;
+};
+
+/// One growing cluster: rectangle + page sets + assigned entries.
+class GrowingCluster {
+ public:
+  GrowingCluster(EntryStore* store, DensityHistogram* hist,
+                 const DiskModel& model, uint32_t buffer_pages,
+                 OpCounters* ops)
+      : store_(store),
+        hist_(hist),
+        model_(model),
+        buffer_pages_(buffer_pages),
+        ops_(ops) {}
+
+  /// Starts from the seed entry (1×1 rectangle).
+  void Seed(uint32_t r, uint32_t c) {
+    r_lo_ = r_hi_ = r;
+    c_lo_ = c_hi_ = c;
+    Take(r, c);
+  }
+
+  /// Grows until the buffer is full or no affordable candidate remains.
+  void Grow() {
+    while (store_->remaining() > 0 &&
+           row_pages_.size() + col_pages_.size() < buffer_pages_) {
+      if (!ExpandOnce()) break;
+    }
+    // Entries still inside the rectangle whose pages are already paid for
+    // are free — absorb them even when the buffer bound stopped growth.
+    AbsorbInside();
+  }
+
+  Cluster Finish() {
+    Cluster out;
+    out.rows = row_pages_.ToVector();
+    out.cols = col_pages_.ToVector();
+    out.entries = std::move(entries_);
+    std::sort(out.entries.begin(), out.entries.end());
+    return out;
+  }
+
+ private:
+  void Take(uint32_t r, uint32_t c) {
+    store_->Assign(r, c);
+    hist_->Remove(r, c);
+    row_pages_.Insert(r);
+    col_pages_.Insert(c);
+    entries_.push_back(MatrixEntry{r, c});
+    if (ops_ != nullptr) ++ops_->cluster_ops;
+  }
+
+  /// Pages needed (beyond the current sets) to take entry (r, c).
+  uint32_t ExtraPages(uint32_t r, uint32_t c) const {
+    return (row_pages_.Contains(r) ? 0 : 1) +
+           (col_pages_.Contains(c) ? 0 : 1);
+  }
+
+  /// Modeled cost increase of taking entry (r, c).
+  double CostDelta(uint32_t r, uint32_t c) const {
+    double delta = 0.0;
+    if (!row_pages_.Contains(r)) {
+      delta += model_.transfer_sec +
+               row_pages_.RunDeltaIfInserted(r) * model_.seek_sec;
+    }
+    if (!col_pages_.Contains(c)) {
+      delta += model_.transfer_sec +
+               col_pages_.RunDeltaIfInserted(c) * model_.seek_sec;
+    }
+    return delta;
+  }
+
+  /// Nearest unassigned entry scanning columns from `from` in direction
+  /// `step` (+1/-1), with row chosen closest to the rectangle's row range.
+  bool FindColumnward(int64_t from, int64_t step, uint32_t* out_r,
+                      uint32_t* out_c) const {
+    const PredictionMatrix& matrix = store_->matrix();
+    for (int64_t c = from; c >= 0 && c < int64_t(matrix.cols()); c += step) {
+      if (ops_ != nullptr) ++ops_->cluster_ops;
+      if (store_->ColRemaining(static_cast<uint32_t>(c)) == 0) continue;
+      // Pick the unassigned row of this column closest to [r_lo_, r_hi_].
+      const std::vector<uint32_t>& rows =
+          store_->ColRows(static_cast<uint32_t>(c));
+      uint32_t best_row = 0;
+      int64_t best_dist = std::numeric_limits<int64_t>::max();
+      for (uint32_t row : rows) {
+        if (store_->IsAssigned(row, static_cast<uint32_t>(c))) continue;
+        if (ops_ != nullptr) ++ops_->cluster_ops;
+        int64_t dist = 0;
+        if (row < r_lo_) dist = int64_t(r_lo_) - row;
+        if (row > r_hi_) dist = int64_t(row) - r_hi_;
+        if (dist < best_dist) {
+          best_dist = dist;
+          best_row = row;
+          if (dist == 0) break;
+        }
+      }
+      if (best_dist == std::numeric_limits<int64_t>::max()) continue;
+      *out_r = best_row;
+      *out_c = static_cast<uint32_t>(c);
+      return true;
+    }
+    return false;
+  }
+
+  /// Nearest unassigned entry scanning rows from `from` in direction
+  /// `step`, with column chosen closest to the rectangle's column range.
+  bool FindRowward(int64_t from, int64_t step, uint32_t* out_r,
+                   uint32_t* out_c) const {
+    const PredictionMatrix& matrix = store_->matrix();
+    for (int64_t r = from; r >= 0 && r < int64_t(matrix.rows()); r += step) {
+      if (ops_ != nullptr) ++ops_->cluster_ops;
+      if (store_->RowRemaining(static_cast<uint32_t>(r)) == 0) continue;
+      const std::vector<uint32_t>& cols =
+          matrix.RowEntries(static_cast<uint32_t>(r));
+      uint32_t best_col = 0;
+      int64_t best_dist = std::numeric_limits<int64_t>::max();
+      for (uint32_t col : cols) {
+        if (store_->IsAssigned(static_cast<uint32_t>(r), col)) continue;
+        if (ops_ != nullptr) ++ops_->cluster_ops;
+        int64_t dist = 0;
+        if (col < c_lo_) dist = int64_t(c_lo_) - col;
+        if (col > c_hi_) dist = int64_t(col) - c_hi_;
+        if (dist < best_dist) {
+          best_dist = dist;
+          best_col = col;
+          if (dist == 0) break;
+        }
+      }
+      if (best_dist == std::numeric_limits<int64_t>::max()) continue;
+      *out_r = static_cast<uint32_t>(r);
+      *out_c = best_col;
+      return true;
+    }
+    return false;
+  }
+
+  /// One TA round: evaluate the frontier candidate of each direction,
+  /// commit the cheapest affordable one (absorbing the entries the grown
+  /// rectangle newly covers). Returns false when no candidate fits.
+  bool ExpandOnce() {
+    struct Candidate {
+      bool valid = false;
+      uint32_t r = 0, c = 0;
+      double delta = 0.0;
+    };
+    Candidate candidates[4];
+    // Inside-first: any unassigned entry still inside the rectangle is
+    // free page-wise; absorb those before expanding.
+    AbsorbInside();
+    if (row_pages_.size() + col_pages_.size() >= buffer_pages_) return false;
+
+    uint32_t r, c;
+    if (FindColumnward(int64_t(c_hi_) + 1, +1, &r, &c)) {
+      candidates[0] = {true, r, c, CostDelta(r, c)};
+    }
+    if (c_lo_ > 0 && FindColumnward(int64_t(c_lo_) - 1, -1, &r, &c)) {
+      candidates[1] = {true, r, c, CostDelta(r, c)};
+    }
+    if (FindRowward(int64_t(r_hi_) + 1, +1, &r, &c)) {
+      candidates[2] = {true, r, c, CostDelta(r, c)};
+    }
+    if (r_lo_ > 0 && FindRowward(int64_t(r_lo_) - 1, -1, &r, &c)) {
+      candidates[3] = {true, r, c, CostDelta(r, c)};
+    }
+
+    const Candidate* best = nullptr;
+    for (const Candidate& cand : candidates) {
+      if (!cand.valid) continue;
+      if (ExtraPages(cand.r, cand.c) + row_pages_.size() +
+              col_pages_.size() >
+          buffer_pages_)
+        continue;
+      if (best == nullptr || cand.delta < best->delta) best = &cand;
+    }
+    if (best == nullptr) return false;
+
+    r_lo_ = std::min(r_lo_, best->r);
+    r_hi_ = std::max(r_hi_, best->r);
+    c_lo_ = std::min(c_lo_, best->c);
+    c_hi_ = std::max(c_hi_, best->c);
+    Take(best->r, best->c);
+    return true;
+  }
+
+  /// Assigns every unassigned entry inside the rectangle whose row and
+  /// column pages are already paid for (or affordable within the buffer).
+  void AbsorbInside() {
+    const PredictionMatrix& matrix = store_->matrix();
+    for (uint32_t r = r_lo_; r <= r_hi_ && r < matrix.rows(); ++r) {
+      if (store_->RowRemaining(r) == 0) continue;
+      const std::vector<uint32_t>& cols = matrix.RowEntries(r);
+      const auto lo = std::lower_bound(cols.begin(), cols.end(), c_lo_);
+      for (auto it = lo; it != cols.end() && *it <= c_hi_; ++it) {
+        if (ops_ != nullptr) ++ops_->cluster_ops;
+        if (store_->IsAssigned(r, *it)) continue;
+        if (ExtraPages(r, *it) + row_pages_.size() + col_pages_.size() >
+            buffer_pages_)
+          continue;
+        Take(r, *it);
+      }
+    }
+  }
+
+  EntryStore* store_;
+  DensityHistogram* hist_;
+  DiskModel model_;
+  uint32_t buffer_pages_;
+  OpCounters* ops_;
+
+  uint32_t r_lo_ = 0, r_hi_ = 0, c_lo_ = 0, c_hi_ = 0;
+  PageSet row_pages_;
+  PageSet col_pages_;
+  std::vector<MatrixEntry> entries_;
+};
+
+}  // namespace
+
+std::vector<Cluster> CostClustering(const PredictionMatrix& matrix,
+                                    uint32_t buffer_pages,
+                                    const DiskModel& model,
+                                    uint32_t hist_resolution, Rng* rng,
+                                    OpCounters* ops) {
+  assert(buffer_pages >= 2);
+  std::vector<Cluster> clusters;
+  if (matrix.MarkedCount() == 0) return clusters;
+
+  EntryStore store(matrix);
+  DensityHistogram hist(matrix, hist_resolution);
+
+  while (store.remaining() > 0) {
+    // Seed selection: a pseudo-random unassigned entry in the densest
+    // bucket (Fig. 8 step 3.a).
+    uint32_t r_lo, r_hi, c_lo, c_hi;
+    hist.DensestBucket(&r_lo, &r_hi, &c_lo, &c_hi);
+    uint32_t seed_r = UINT32_MAX, seed_c = UINT32_MAX;
+    const uint32_t span = std::max(1u, r_hi - r_lo);
+    const uint32_t start = r_lo + static_cast<uint32_t>(rng->Uniform(span));
+    for (uint32_t probe = 0; probe < span && seed_r == UINT32_MAX;
+         ++probe) {
+      const uint32_t r = r_lo + (start - r_lo + probe) % span;
+      if (store.RowRemaining(r) == 0) continue;
+      const std::vector<uint32_t>& cols = matrix.RowEntries(r);
+      const auto lo = std::lower_bound(cols.begin(), cols.end(), c_lo);
+      for (auto it = lo; it != cols.end() && *it < c_hi; ++it) {
+        if (!store.IsAssigned(r, *it)) {
+          seed_r = r;
+          seed_c = *it;
+          break;
+        }
+      }
+    }
+    if (seed_r == UINT32_MAX) {
+      // Histogram bucket counts can point at a bucket whose remaining
+      // entries straddle a range edge; fall back to a linear scan.
+      for (uint32_t r = 0; r < matrix.rows() && seed_r == UINT32_MAX; ++r) {
+        if (store.RowRemaining(r) == 0) continue;
+        for (uint32_t c : matrix.RowEntries(r)) {
+          if (!store.IsAssigned(r, c)) {
+            seed_r = r;
+            seed_c = c;
+            break;
+          }
+        }
+      }
+    }
+    assert(seed_r != UINT32_MAX);
+
+    GrowingCluster grower(&store, &hist, model, buffer_pages, ops);
+    grower.Seed(seed_r, seed_c);
+    grower.Grow();
+    clusters.push_back(grower.Finish());
+  }
+  return clusters;
+}
+
+}  // namespace pmjoin

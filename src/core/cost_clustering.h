@@ -1,0 +1,45 @@
+#ifndef PMJOIN_CORE_COST_CLUSTERING_H_
+#define PMJOIN_CORE_COST_CLUSTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/op_counters.h"
+#include "common/rng.h"
+#include "core/cluster.h"
+#include "core/prediction_matrix.h"
+#include "io/disk_model.h"
+
+namespace pmjoin {
+
+/// Cost-based Clustering (CC, §7.2 / Fig. 8): grows each cluster from a
+/// seed in the densest region of the prediction matrix, repeatedly
+/// expanding toward the marked entry that minimizes the increase in
+/// modeled disk cost (random seek + sequential transfer) of reading the
+/// cluster's pages, until the cluster fills the buffer.
+///
+/// Implementation notes relative to Fig. 8:
+///  - The seed is drawn from the fullest bucket of a `hist_resolution`²
+///    density histogram (step 2/3.a); the draw is deterministic given
+///    `rng`.
+///  - Fagin's threshold algorithm over the two expansion directions is
+///    realized by evaluating the frontier candidate of each direction
+///    (nearest unassigned entry left/right of the column range and
+///    above/below the row range) — the head of each cost-sorted list —
+///    and committing the cheapest (step 3.c).
+///  - Expanding the rectangle to cover the chosen entry also absorbs the
+///    unassigned entries that fall inside the grown rectangle, while the
+///    buffer bound of B pages is respected.
+///
+/// The paper uses CC as an approximate lower bound on I/O cost (it is
+/// CPU-expensive: O(w^{3/2}) worst case); `ops->cluster_ops` accounts that
+/// preprocessing cost.
+std::vector<Cluster> CostClustering(const PredictionMatrix& matrix,
+                                    uint32_t buffer_pages,
+                                    const DiskModel& model,
+                                    uint32_t hist_resolution, Rng* rng,
+                                    OpCounters* ops);
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_CORE_COST_CLUSTERING_H_

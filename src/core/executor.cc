@@ -1,0 +1,30 @@
+#include "core/executor.h"
+
+namespace pmjoin {
+
+Status ExecuteClusteredJoin(const JoinInput& input,
+                            const std::vector<Cluster>& clusters,
+                            std::span<const uint32_t> order,
+                            BufferPool* pool, PairSink* sink,
+                            OpCounters* ops) {
+  if (order.size() != clusters.size())
+    return Status::InvalidArgument("order size != cluster count");
+
+  for (uint32_t index : order) {
+    if (index >= clusters.size())
+      return Status::InvalidArgument("order index out of range");
+    const Cluster& cluster = clusters[index];
+    std::vector<PageId> pages = ClusterPageSet(cluster, input);
+    if (pages.size() > pool->capacity())
+      return Status::BufferFull("cluster larger than buffer pool");
+
+    PMJOIN_RETURN_IF_ERROR(pool->PinBatch(pages));
+    for (const MatrixEntry& e : cluster.entries) {
+      input.joiner->JoinPages(e.row, e.col, sink, ops);
+    }
+    pool->UnpinBatch(pages);
+  }
+  return Status::OK();
+}
+
+}  // namespace pmjoin

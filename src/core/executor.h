@@ -1,0 +1,32 @@
+#ifndef PMJOIN_CORE_EXECUTOR_H_
+#define PMJOIN_CORE_EXECUTOR_H_
+
+#include <span>
+#include <vector>
+
+#include "common/op_counters.h"
+#include "common/pair_sink.h"
+#include "common/status.h"
+#include "core/cluster.h"
+#include "io/buffer_pool.h"
+
+namespace pmjoin {
+
+/// Processes clusters in the given order (§8): for each cluster, its page
+/// set is read through the buffer pool using the seek-optimal multi-page
+/// schedule (step 1), and its marked entries are joined in memory (step 2
+/// — Lemma 2 guarantees the pages fit). Pages shared with recently
+/// processed clusters are still pool-resident and cost nothing, which is
+/// exactly the reuse the schedule maximizes.
+///
+/// `order` holds indices into `clusters` (e.g. from ScheduleClusters, or a
+/// shuffled order for the random-SC baseline).
+Status ExecuteClusteredJoin(const JoinInput& input,
+                            const std::vector<Cluster>& clusters,
+                            std::span<const uint32_t> order,
+                            BufferPool* pool, PairSink* sink,
+                            OpCounters* ops);
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_CORE_EXECUTOR_H_

@@ -1,0 +1,322 @@
+#include "core/join_driver.h"
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "baselines/bfrj.h"
+#include "baselines/block_nlj.h"
+#include "baselines/ego.h"
+#include "baselines/pbsm.h"
+#include "common/rng.h"
+#include "core/cost_clustering.h"
+#include "core/executor.h"
+#include "core/joiners.h"
+#include "core/plane_sweep.h"
+#include "core/pm_nlj.h"
+#include "core/scheduler.h"
+#include "core/square_clustering.h"
+#include "io/buffer_pool.h"
+
+namespace pmjoin {
+
+std::string AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kNlj:
+      return "NLJ";
+    case Algorithm::kPmNlj:
+      return "pm-NLJ";
+    case Algorithm::kRandomSc:
+      return "rand-SC";
+    case Algorithm::kSc:
+      return "SC";
+    case Algorithm::kCc:
+      return "CC";
+    case Algorithm::kEgo:
+      return "EGO";
+    case Algorithm::kBfrj:
+      return "BFRJ";
+    case Algorithm::kPbsm:
+      return "PBSM";
+  }
+  return "?";
+}
+
+JoinDriver::JoinDriver(SimulatedDisk* disk, CpuCostModel cpu_model)
+    : disk_(disk), cpu_model_(cpu_model) {}
+
+const RStarTree* JoinDriver::SequencePageTree(
+    const void* store_key, const std::vector<Mbr>& page_mbrs) {
+  auto it = seq_trees_.find(store_key);
+  if (it != seq_trees_.end()) return it->second.get();
+  std::vector<RStarTree::Entry> leaves;
+  leaves.reserve(page_mbrs.size());
+  for (uint32_t p = 0; p < page_mbrs.size(); ++p)
+    leaves.push_back(RStarTree::Entry{page_mbrs[p], p});
+  auto tree = std::make_unique<RStarTree>(
+      RStarTree::BulkLoadStr(page_mbrs.empty() ? 1 : page_mbrs[0].dims(),
+                             std::move(leaves)));
+  tree->AttachFile(disk_, "seq-page-tree");
+  const RStarTree* raw = tree.get();
+  seq_trees_.emplace(store_key, std::move(tree));
+  return raw;
+}
+
+namespace {
+
+/// Runs one matrix-based algorithm (NLJ uses the matrix as a result-free
+/// oracle only; see BlockNlj).
+Status RunMatrixAlgorithm(const JoinInput& input,
+                          const PredictionMatrix& matrix,
+                          const JoinOptions& options, const DiskModel& model,
+                          SimulatedDisk* disk, PairSink* sink,
+                          OpCounters* ops, uint64_t* num_clusters) {
+  BufferPool pool(disk, options.buffer_pages);
+  switch (options.algorithm) {
+    case Algorithm::kNlj:
+      return BlockNlj(input, &pool, sink, ops, &matrix);
+    case Algorithm::kPmNlj:
+      return PmNlj(input, matrix, &pool, sink, ops);
+    case Algorithm::kRandomSc:
+    case Algorithm::kSc:
+    case Algorithm::kCc: {
+      std::vector<Cluster> clusters;
+      if (options.algorithm == Algorithm::kCc) {
+        Rng rng(options.seed);
+        clusters =
+            CostClustering(matrix, options.buffer_pages, model,
+                           options.cc_histogram_resolution, &rng, ops);
+      } else {
+        clusters = SquareClustering(matrix, options.buffer_pages, ops);
+      }
+      *num_clusters = clusters.size();
+
+      std::vector<uint32_t> order;
+      if (options.algorithm == Algorithm::kRandomSc) {
+        order.resize(clusters.size());
+        std::iota(order.begin(), order.end(), 0u);
+        Rng rng(options.seed);
+        rng.Shuffle(order);
+      } else if (options.schedule_clusters) {
+        order = ScheduleClusters(clusters, input, ops);
+      } else {
+        order.resize(clusters.size());
+        std::iota(order.begin(), order.end(), 0u);
+      }
+      return ExecuteClusteredJoin(input, clusters, order, &pool, sink, ops);
+    }
+    case Algorithm::kEgo:
+    case Algorithm::kBfrj:
+    case Algorithm::kPbsm:
+      return Status::Internal("not a matrix algorithm");
+  }
+  return Status::Internal("unknown algorithm");
+}
+
+}  // namespace
+
+Result<JoinReport> JoinDriver::RunVector(const VectorDataset& r,
+                                         const VectorDataset& s, double eps,
+                                         const JoinOptions& options,
+                                         PairSink* sink) {
+  if (r.dims() != s.dims())
+    return Status::InvalidArgument("RunVector: dimension mismatch");
+  const bool self = &r == &s;
+  VectorPairJoiner joiner(&r, &s, eps, options.norm, self);
+  JoinInput input;
+  input.r_file = r.file_id();
+  input.s_file = s.file_id();
+  input.r_pages = r.num_pages();
+  input.s_pages = s.num_pages();
+  input.self_join = self;
+  input.joiner = &joiner;
+
+  const IoStats io_before = disk_->stats();
+  OpCounters ops;
+  JoinReport report;
+  report.algorithm = options.algorithm;
+
+  Status st;
+  if (options.algorithm == Algorithm::kEgo) {
+    BufferPool pool(disk_, options.buffer_pages);
+    st = EgoJoinVectors(r, s, self, eps, options.norm, disk_, &pool, sink,
+                        &ops);
+  } else if (options.algorithm == Algorithm::kBfrj) {
+    if (!r.tree().file_id().has_value() || !s.tree().file_id().has_value())
+      return Status::InvalidArgument(
+          "BFRJ: dataset trees lack node files (rebuild datasets)");
+    BufferPool pool(disk_, options.buffer_pages);
+    st = BfrjJoin(r.tree(), s.tree(), input, eps, options.norm,
+                  options.page_size_bytes, disk_, &pool, sink, &ops);
+  } else if (options.algorithm == Algorithm::kPbsm) {
+    BufferPool pool(disk_, options.buffer_pages);
+    st = PbsmJoinVectors(r, s, self, eps, options.norm, disk_, &pool, sink,
+                         &ops);
+  } else {
+    // Oracle for NLJ is built uncharged; pm algorithms charge the build.
+    OpCounters* build_ops =
+        options.algorithm == Algorithm::kNlj ? nullptr : &ops;
+    PredictionMatrix matrix =
+        options.hierarchical_matrix
+            ? BuildPredictionMatrixHierarchical(
+                  r.tree(), s.tree(), r.num_pages(), s.num_pages(), eps,
+                  options.norm, options.filter_iterations, build_ops)
+            : BuildPredictionMatrixFlat(r.page_mbrs(), s.page_mbrs(), eps,
+                                        options.norm, build_ops);
+    report.marked_entries = matrix.MarkedCount();
+    report.matrix_rows = matrix.rows();
+    report.matrix_cols = matrix.cols();
+    report.matrix_selectivity = matrix.Selectivity();
+    st = RunMatrixAlgorithm(input, matrix, options, disk_->model(), disk_,
+                            sink, &ops, &report.num_clusters);
+  }
+  if (!st.ok()) return st;
+
+  report.io = disk_->stats().Delta(io_before);
+  report.ops = ops;
+  report.io_seconds = report.io.ModeledSeconds(disk_->model());
+  report.cpu_join_seconds = cpu_model_.JoinSeconds(ops);
+  report.preprocess_seconds = cpu_model_.PreprocessSeconds(ops);
+  report.result_pairs = ops.result_pairs;
+  return report;
+}
+
+Result<JoinReport> JoinDriver::RunTimeSeries(const TimeSeriesStore& r,
+                                             const TimeSeriesStore& s,
+                                             double eps,
+                                             const JoinOptions& options,
+                                             PairSink* sink) {
+  if (r.layout().window_len != s.layout().window_len)
+    return Status::InvalidArgument("RunTimeSeries: window length mismatch");
+  if (options.algorithm == Algorithm::kPbsm)
+    return Status::Unimplemented(
+        "PBSM requires in-place partitioning; sequence data cannot be "
+        "reordered (paper 3)");
+  const bool self = &r == &s;
+  TimeSeriesPairJoiner joiner(&r, &s, eps, self);
+  JoinInput input;
+  input.r_file = r.file_id();
+  input.s_file = s.file_id();
+  input.r_pages = r.layout().NumPages();
+  input.s_pages = s.layout().NumPages();
+  input.self_join = self;
+  input.joiner = &joiner;
+
+  const IoStats io_before = disk_->stats();
+  OpCounters ops;
+  JoinReport report;
+  report.algorithm = options.algorithm;
+
+  Status st;
+  if (options.algorithm == Algorithm::kEgo) {
+    BufferPool pool(disk_, options.buffer_pages);
+    st = EgoJoinTimeSeries(r, s, self, eps, disk_, &pool, sink, &ops);
+  } else if (options.algorithm == Algorithm::kBfrj) {
+    const RStarTree* rt = SequencePageTree(&r, r.page_mbrs());
+    const RStarTree* stree =
+        self ? rt : SequencePageTree(&s, s.page_mbrs());
+    BufferPool pool(disk_, options.buffer_pages);
+    st = BfrjJoin(*rt, *stree, input, joiner.MatrixThreshold(), Norm::kL2,
+                  options.page_size_bytes, disk_, &pool, sink, &ops);
+  } else {
+    OpCounters* build_ops =
+        options.algorithm == Algorithm::kNlj ? nullptr : &ops;
+    PredictionMatrix matrix =
+        options.hierarchical_matrix
+            ? BuildPredictionMatrixHierarchical(
+                  *SequencePageTree(&r, r.page_mbrs()),
+                  self ? *SequencePageTree(&r, r.page_mbrs())
+                       : *SequencePageTree(&s, s.page_mbrs()),
+                  input.r_pages, input.s_pages, joiner.MatrixThreshold(),
+                  Norm::kL2, options.filter_iterations, build_ops)
+            : BuildPredictionMatrixFlat(r.page_mbrs(), s.page_mbrs(),
+                                        joiner.MatrixThreshold(), Norm::kL2,
+                                        build_ops);
+    report.marked_entries = matrix.MarkedCount();
+    report.matrix_rows = matrix.rows();
+    report.matrix_cols = matrix.cols();
+    report.matrix_selectivity = matrix.Selectivity();
+    st = RunMatrixAlgorithm(input, matrix, options, disk_->model(), disk_,
+                            sink, &ops, &report.num_clusters);
+  }
+  if (!st.ok()) return st;
+
+  report.io = disk_->stats().Delta(io_before);
+  report.ops = ops;
+  report.io_seconds = report.io.ModeledSeconds(disk_->model());
+  report.cpu_join_seconds = cpu_model_.JoinSeconds(ops);
+  report.preprocess_seconds = cpu_model_.PreprocessSeconds(ops);
+  report.result_pairs = ops.result_pairs;
+  return report;
+}
+
+Result<JoinReport> JoinDriver::RunString(const StringSequenceStore& r,
+                                         const StringSequenceStore& s,
+                                         uint32_t max_edits,
+                                         const JoinOptions& options,
+                                         PairSink* sink) {
+  if (r.layout().window_len != s.layout().window_len)
+    return Status::InvalidArgument("RunString: window length mismatch");
+  if (options.algorithm == Algorithm::kPbsm)
+    return Status::Unimplemented(
+        "PBSM requires in-place partitioning; sequence data cannot be "
+        "reordered (paper 3)");
+  const bool self = &r == &s;
+  StringPairJoiner joiner(&r, &s, max_edits, self);
+  JoinInput input;
+  input.r_file = r.file_id();
+  input.s_file = s.file_id();
+  input.r_pages = r.layout().NumPages();
+  input.s_pages = s.layout().NumPages();
+  input.self_join = self;
+  input.joiner = &joiner;
+
+  const IoStats io_before = disk_->stats();
+  OpCounters ops;
+  JoinReport report;
+  report.algorithm = options.algorithm;
+
+  Status st;
+  if (options.algorithm == Algorithm::kEgo) {
+    BufferPool pool(disk_, options.buffer_pages);
+    st = EgoJoinStrings(r, s, self, max_edits, disk_, &pool, sink, &ops);
+  } else if (options.algorithm == Algorithm::kBfrj) {
+    const RStarTree* rt = SequencePageTree(&r, r.page_mbrs());
+    const RStarTree* stree =
+        self ? rt : SequencePageTree(&s, s.page_mbrs());
+    BufferPool pool(disk_, options.buffer_pages);
+    st = BfrjJoin(*rt, *stree, input, joiner.MatrixThreshold(), Norm::kL1,
+                  options.page_size_bytes, disk_, &pool, sink, &ops);
+  } else {
+    OpCounters* build_ops =
+        options.algorithm == Algorithm::kNlj ? nullptr : &ops;
+    PredictionMatrix matrix =
+        options.hierarchical_matrix
+            ? BuildPredictionMatrixHierarchical(
+                  *SequencePageTree(&r, r.page_mbrs()),
+                  self ? *SequencePageTree(&r, r.page_mbrs())
+                       : *SequencePageTree(&s, s.page_mbrs()),
+                  input.r_pages, input.s_pages, joiner.MatrixThreshold(),
+                  Norm::kL1, options.filter_iterations, build_ops)
+            : BuildPredictionMatrixFlat(r.page_mbrs(), s.page_mbrs(),
+                                        joiner.MatrixThreshold(), Norm::kL1,
+                                        build_ops);
+    report.marked_entries = matrix.MarkedCount();
+    report.matrix_rows = matrix.rows();
+    report.matrix_cols = matrix.cols();
+    report.matrix_selectivity = matrix.Selectivity();
+    st = RunMatrixAlgorithm(input, matrix, options, disk_->model(), disk_,
+                            sink, &ops, &report.num_clusters);
+  }
+  if (!st.ok()) return st;
+
+  report.io = disk_->stats().Delta(io_before);
+  report.ops = ops;
+  report.io_seconds = report.io.ModeledSeconds(disk_->model());
+  report.cpu_join_seconds = cpu_model_.JoinSeconds(ops);
+  report.preprocess_seconds = cpu_model_.PreprocessSeconds(ops);
+  report.result_pairs = ops.result_pairs;
+  return report;
+}
+
+}  // namespace pmjoin

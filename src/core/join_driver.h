@@ -1,0 +1,146 @@
+#ifndef PMJOIN_CORE_JOIN_DRIVER_H_
+#define PMJOIN_CORE_JOIN_DRIVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/cost_model.h"
+#include "common/op_counters.h"
+#include "common/pair_sink.h"
+#include "common/result.h"
+#include "core/prediction_matrix.h"
+#include "data/vector_dataset.h"
+#include "index/rstar_tree.h"
+#include "geom/distance.h"
+#include "io/simulated_disk.h"
+#include "seq/sequence_store.h"
+
+namespace pmjoin {
+
+/// The join techniques of the paper's evaluation (§9).
+enum class Algorithm {
+  kNlj,       ///< Block nested loop join (baseline).
+  kPmNlj,     ///< Prediction-matrix NLJ (Fig. 4, Optimization 1).
+  kRandomSc,  ///< SC clusters in random order (Optimizations 1–2).
+  kSc,        ///< SC clusters in scheduled order (Optimizations 1–3).
+  kCc,        ///< Cost-based clustering, scheduled (I/O lower bound).
+  kEgo,       ///< Epsilon grid ordering (competitor).
+  kBfrj,      ///< Breadth-first R-tree join (competitor).
+  kPbsm,      ///< Partition-based spatial merge (extra baseline; vector
+              ///< data only — sequences cannot be partitioned in place).
+};
+
+/// Short display name ("NLJ", "pm-NLJ", "rand-SC", "SC", "CC", "EGO",
+/// "BFRJ", "PBSM") as used in the paper's figures.
+std::string AlgorithmName(Algorithm algorithm);
+
+/// Knobs shared by all joins. Defaults reproduce the paper's setup.
+struct JoinOptions {
+  Algorithm algorithm = Algorithm::kSc;
+
+  /// Buffer size B in pages.
+  uint32_t buffer_pages = 100;
+
+  /// Norm for vector-data predicates (sequence joins fix their own).
+  Norm norm = Norm::kL2;
+
+  /// Vector data: build the matrix hierarchically from the R*-trees with
+  /// the Fig. 2 filter (true) or by a flat leaf sweep (false).
+  bool hierarchical_matrix = true;
+
+  /// Fig. 2 filter iterations k (paper default 5).
+  uint32_t filter_iterations = 5;
+
+  /// CC density-histogram resolution (buckets per axis).
+  uint32_t cc_histogram_resolution = 100;
+
+  /// Seed for random-SC's shuffle and CC's seed draws.
+  uint64_t seed = 42;
+
+  /// SC/CC: process clusters in the sharing-graph schedule (§8). Disabled
+  /// by the scheduling ablation bench.
+  bool schedule_clusters = true;
+
+  /// Page size in bytes (BFRJ intermediate sizing; must match the page
+  /// size used to build the datasets).
+  uint32_t page_size_bytes = 4096;
+};
+
+/// Everything a bench row needs about one join execution. All "seconds"
+/// are modeled (DiskModel for I/O, CpuCostModel for CPU) and fully
+/// deterministic.
+struct JoinReport {
+  Algorithm algorithm = Algorithm::kSc;
+
+  /// I/O counters attributed to this run.
+  IoStats io;
+  /// CPU counters attributed to this run.
+  OpCounters ops;
+
+  /// Modeled seconds: disk, join CPU, preprocessing (clustering +
+  /// scheduling, the "Preprocess" bar of Figs. 10–11).
+  double io_seconds = 0.0;
+  double cpu_join_seconds = 0.0;
+  double preprocess_seconds = 0.0;
+  double TotalSeconds() const {
+    return io_seconds + cpu_join_seconds + preprocess_seconds;
+  }
+
+  uint64_t result_pairs = 0;
+  uint64_t marked_entries = 0;
+  uint64_t matrix_rows = 0;
+  uint64_t matrix_cols = 0;
+  double matrix_selectivity = 0.0;
+  uint64_t num_clusters = 0;
+};
+
+/// One-call façade over the whole library: builds the prediction matrix,
+/// clusters it, schedules, and executes — or runs a baseline — returning a
+/// fully attributed cost report. This is the public API the examples and
+/// benches use.
+///
+/// The driver owns nothing but caches: R*-tree node files (for BFRJ) and
+/// sequence page trees are created on the driver's disk on first use.
+class JoinDriver {
+ public:
+  explicit JoinDriver(SimulatedDisk* disk,
+                      CpuCostModel cpu_model = CpuCostModel());
+
+  /// ε-join of two vector datasets (pass the same object twice for a self
+  /// join). Results go to `sink` as (original id, original id) pairs.
+  Result<JoinReport> RunVector(const VectorDataset& r,
+                               const VectorDataset& s, double eps,
+                               const JoinOptions& options, PairSink* sink);
+
+  /// Subsequence ε-join (L2 over length-L windows) of two time series.
+  Result<JoinReport> RunTimeSeries(const TimeSeriesStore& r,
+                                   const TimeSeriesStore& s, double eps,
+                                   const JoinOptions& options,
+                                   PairSink* sink);
+
+  /// Subsequence edit-distance join (ED <= max_edits) of two strings.
+  Result<JoinReport> RunString(const StringSequenceStore& r,
+                               const StringSequenceStore& s,
+                               uint32_t max_edits,
+                               const JoinOptions& options, PairSink* sink);
+
+  SimulatedDisk* disk() { return disk_; }
+  const CpuCostModel& cpu_model() const { return cpu_model_; }
+
+ private:
+  /// Cached page tree for a sequence store (bulk-loaded over page MBRs,
+  /// node file attached for BFRJ I/O accounting).
+  const RStarTree* SequencePageTree(const void* store_key,
+                                    const std::vector<Mbr>& page_mbrs);
+
+  SimulatedDisk* disk_;
+  CpuCostModel cpu_model_;
+  std::unordered_map<const void*, std::unique_ptr<RStarTree>> seq_trees_;
+};
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_CORE_JOIN_DRIVER_H_

@@ -1,0 +1,311 @@
+#include "core/plane_sweep.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pmjoin {
+namespace {
+
+/// True iff every per-dimension gap between the boxes is <= threshold —
+/// i.e. the boxes, each extended by threshold/2, intersect. A necessary
+/// condition for MINDIST <= threshold under any Lp norm.
+bool GapWithin(const Mbr& a, const Mbr& b, double threshold) {
+  for (size_t d = 0; d < a.dims(); ++d) {
+    const double gap = std::max(
+        {0.0, double(a.lo(d)) - b.hi(d), double(b.lo(d)) - a.hi(d)});
+    if (gap > threshold) return false;
+  }
+  return true;
+}
+
+struct Endpoint {
+  float x = 0;
+  /// 0 = start, 1 = end; starts sort before ends at equal x so touching
+  /// intervals are treated as overlapping (closed intervals).
+  uint8_t kind = 0;
+  /// 0 = R set, 1 = S set.
+  uint8_t set = 0;
+  uint32_t index = 0;  // Index into the item span.
+};
+
+}  // namespace
+
+void SweepPairs(std::span<const SweepItem> r, std::span<const SweepItem> s,
+                double threshold, Norm norm, OpCounters* ops,
+                const std::function<void(const SweepItem&,
+                                         const SweepItem&)>& emit) {
+  if (r.empty() || s.empty()) return;
+  const float half = static_cast<float>(threshold / 2.0);
+
+  std::vector<Endpoint> events;
+  events.reserve(2 * (r.size() + s.size()));
+  for (uint32_t i = 0; i < r.size(); ++i) {
+    events.push_back(Endpoint{r[i].box.lo(0) - half, 0, 0, i});
+    events.push_back(Endpoint{r[i].box.hi(0) + half, 1, 0, i});
+  }
+  for (uint32_t j = 0; j < s.size(); ++j) {
+    events.push_back(Endpoint{s[j].box.lo(0) - half, 0, 1, j});
+    events.push_back(Endpoint{s[j].box.hi(0) + half, 1, 1, j});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Endpoint& a, const Endpoint& b) {
+              if (a.x != b.x) return a.x < b.x;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              if (a.set != b.set) return a.set < b.set;
+              return a.index < b.index;
+            });
+
+  // Active lists with O(1) removal (swap-pop via position maps).
+  std::vector<uint32_t> active_r, active_s;
+  std::vector<uint32_t> pos_r(r.size(), UINT32_MAX),
+      pos_s(s.size(), UINT32_MAX);
+
+  auto activate = [](std::vector<uint32_t>& act, std::vector<uint32_t>& pos,
+                     uint32_t idx) {
+    pos[idx] = static_cast<uint32_t>(act.size());
+    act.push_back(idx);
+  };
+  auto deactivate = [](std::vector<uint32_t>& act, std::vector<uint32_t>& pos,
+                       uint32_t idx) {
+    const uint32_t p = pos[idx];
+    act[p] = act.back();
+    pos[act.back()] = p;
+    act.pop_back();
+    pos[idx] = UINT32_MAX;
+  };
+
+  for (const Endpoint& e : events) {
+    if (e.kind == 1) {
+      if (e.set == 0) {
+        deactivate(active_r, pos_r, e.index);
+      } else {
+        deactivate(active_s, pos_s, e.index);
+      }
+      continue;
+    }
+    if (e.set == 0) {
+      const SweepItem& item = r[e.index];
+      for (uint32_t j : active_s) {
+        if (ops != nullptr) ++ops->mbr_tests;
+        if (!GapWithin(item.box, s[j].box, threshold)) continue;
+        if (item.box.MinDist(s[j].box, norm) > threshold) continue;
+        emit(item, s[j]);
+      }
+      activate(active_r, pos_r, e.index);
+    } else {
+      const SweepItem& item = s[e.index];
+      for (uint32_t i : active_r) {
+        if (ops != nullptr) ++ops->mbr_tests;
+        if (!GapWithin(r[i].box, item.box, threshold)) continue;
+        if (r[i].box.MinDist(item.box, norm) > threshold) continue;
+        emit(r[i], item);
+      }
+      activate(active_s, pos_s, e.index);
+    }
+  }
+}
+
+void FilterChildren(std::span<const SweepItem> r,
+                    std::span<const SweepItem> s, double threshold,
+                    uint32_t max_iterations, OpCounters* ops,
+                    std::vector<uint32_t>* r_survivors,
+                    std::vector<uint32_t>* s_survivors) {
+  r_survivors->clear();
+  s_survivors->clear();
+  if (r.empty() || s.empty()) return;
+  const float half = static_cast<float>(threshold / 2.0);
+  const size_t dims = r[0].box.dims();
+
+  // Work in extended space: all boxes grown by threshold/2, so "within
+  // threshold" becomes plain intersection.
+  std::vector<Mbr> er, es;
+  er.reserve(r.size());
+  es.reserve(s.size());
+  for (const SweepItem& it : r) er.push_back(it.box.Extended(half));
+  for (const SweepItem& it : s) es.push_back(it.box.Extended(half));
+
+  std::vector<uint32_t> alive_r(r.size()), alive_s(s.size());
+  for (uint32_t i = 0; i < r.size(); ++i) alive_r[i] = i;
+  for (uint32_t j = 0; j < s.size(); ++j) alive_s[j] = j;
+
+  // I: intersection of the two extended covers.
+  Mbr cover_r(dims), cover_s(dims);
+  for (const Mbr& b : er) cover_r.Expand(b);
+  for (const Mbr& b : es) cover_s.Expand(b);
+  Mbr region = cover_r.Intersection(cover_s);
+  if (region.empty()) return;
+
+  for (uint32_t iter = 0; iter < max_iterations; ++iter) {
+    // B_R = cover of (extended R_i ∩ region); B_S likewise; B_RS = B_R ∩ B_S.
+    Mbr br(dims), bs(dims);
+    for (uint32_t i : alive_r) {
+      const Mbr clipped = er[i].Intersection(region);
+      if (ops != nullptr) ++ops->mbr_tests;
+      if (!clipped.empty()) br.Expand(clipped);
+    }
+    for (uint32_t j : alive_s) {
+      const Mbr clipped = es[j].Intersection(region);
+      if (ops != nullptr) ++ops->mbr_tests;
+      if (!clipped.empty()) bs.Expand(clipped);
+    }
+    if (br.empty() || bs.empty()) {
+      alive_r.clear();
+      alive_s.clear();
+      break;
+    }
+    const Mbr brs = br.Intersection(bs);
+    if (brs.empty()) {
+      alive_r.clear();
+      alive_s.clear();
+      break;
+    }
+
+    size_t before = alive_r.size() + alive_s.size();
+    std::vector<uint32_t> next_r, next_s;
+    next_r.reserve(alive_r.size());
+    next_s.reserve(alive_s.size());
+    for (uint32_t i : alive_r) {
+      if (ops != nullptr) ++ops->mbr_tests;
+      if (er[i].Intersects(brs)) next_r.push_back(i);
+    }
+    for (uint32_t j : alive_s) {
+      if (ops != nullptr) ++ops->mbr_tests;
+      if (es[j].Intersects(brs)) next_s.push_back(j);
+    }
+    alive_r = std::move(next_r);
+    alive_s = std::move(next_s);
+    region = brs;
+    if (alive_r.empty() || alive_s.empty()) break;
+    if (alive_r.size() + alive_s.size() == before &&
+        region == brs && iter > 0) {
+      break;  // Fixpoint.
+    }
+  }
+
+  *r_survivors = std::move(alive_r);
+  *s_survivors = std::move(alive_s);
+}
+
+PredictionMatrix BuildPredictionMatrixFlat(const std::vector<Mbr>& r_pages,
+                                           const std::vector<Mbr>& s_pages,
+                                           double threshold, Norm norm,
+                                           OpCounters* ops) {
+  PredictionMatrix matrix(static_cast<uint32_t>(r_pages.size()),
+                          static_cast<uint32_t>(s_pages.size()));
+  std::vector<SweepItem> r, s;
+  r.reserve(r_pages.size());
+  s.reserve(s_pages.size());
+  for (uint32_t i = 0; i < r_pages.size(); ++i)
+    r.push_back(SweepItem{r_pages[i], i});
+  for (uint32_t j = 0; j < s_pages.size(); ++j)
+    s.push_back(SweepItem{s_pages[j], j});
+  SweepPairs(r, s, threshold, norm, ops,
+             [&matrix](const SweepItem& a, const SweepItem& b) {
+               matrix.Mark(a.id, b.id);
+             });
+  matrix.Finalize();
+  return matrix;
+}
+
+namespace {
+
+/// Recursion driver for the hierarchical construction.
+class HierarchicalBuilder {
+ public:
+  HierarchicalBuilder(const RStarTree& rt, const RStarTree& st,
+                      double threshold, Norm norm, uint32_t filter_iters,
+                      OpCounters* ops, PredictionMatrix* matrix)
+      : rt_(rt),
+        st_(st),
+        threshold_(threshold),
+        norm_(norm),
+        filter_iters_(filter_iters),
+        ops_(ops),
+        matrix_(matrix) {}
+
+  void Run() {
+    if (rt_.empty() || st_.empty()) return;
+    if (ops_ != nullptr) ++ops_->mbr_tests;
+    if (rt_.node(rt_.root()).mbr.MinDist(st_.node(st_.root()).mbr, norm_) >
+        threshold_) {
+      return;
+    }
+    NodePair(rt_.root(), st_.root());
+  }
+
+ private:
+  void NodePair(uint32_t rn, uint32_t sn) {
+    const RStarTree::Node& a = rt_.node(rn);
+    const RStarTree::Node& b = st_.node(sn);
+
+    // Height alignment: descend the deeper side alone until levels match.
+    if (a.level > b.level) {
+      for (const RStarTree::Entry& e : a.entries) {
+        if (ops_ != nullptr) ++ops_->mbr_tests;
+        if (e.mbr.MinDist(b.mbr, norm_) <= threshold_) NodePair(e.id, sn);
+      }
+      return;
+    }
+    if (b.level > a.level) {
+      for (const RStarTree::Entry& e : b.entries) {
+        if (ops_ != nullptr) ++ops_->mbr_tests;
+        if (a.mbr.MinDist(e.mbr, norm_) <= threshold_) NodePair(rn, e.id);
+      }
+      return;
+    }
+
+    // Same level: filter the two child sets (Fig. 2), then sweep.
+    std::vector<SweepItem> r_items, s_items;
+    r_items.reserve(a.entries.size());
+    s_items.reserve(b.entries.size());
+    for (const RStarTree::Entry& e : a.entries)
+      r_items.push_back(SweepItem{e.mbr, e.id});
+    for (const RStarTree::Entry& e : b.entries)
+      s_items.push_back(SweepItem{e.mbr, e.id});
+
+    std::vector<uint32_t> keep_r, keep_s;
+    FilterChildren(r_items, s_items, threshold_, filter_iters_, ops_,
+                   &keep_r, &keep_s);
+    if (keep_r.empty() || keep_s.empty()) return;
+
+    std::vector<SweepItem> fr, fs;
+    fr.reserve(keep_r.size());
+    fs.reserve(keep_s.size());
+    for (uint32_t i : keep_r) fr.push_back(r_items[i]);
+    for (uint32_t j : keep_s) fs.push_back(s_items[j]);
+
+    const bool leaves = a.IsLeaf();  // == b.IsLeaf() at equal level 0.
+    SweepPairs(fr, fs, threshold_, norm_, ops_,
+               [this, leaves](const SweepItem& x, const SweepItem& y) {
+                 if (leaves) {
+                   matrix_->Mark(x.id, y.id);
+                 } else {
+                   NodePair(x.id, y.id);
+                 }
+               });
+  }
+
+  const RStarTree& rt_;
+  const RStarTree& st_;
+  double threshold_;
+  Norm norm_;
+  uint32_t filter_iters_;
+  OpCounters* ops_;
+  PredictionMatrix* matrix_;
+};
+
+}  // namespace
+
+PredictionMatrix BuildPredictionMatrixHierarchical(
+    const RStarTree& r_tree, const RStarTree& s_tree, uint32_t r_page_count,
+    uint32_t s_page_count, double threshold, Norm norm,
+    uint32_t filter_iterations, OpCounters* ops) {
+  PredictionMatrix matrix(r_page_count, s_page_count);
+  HierarchicalBuilder builder(r_tree, s_tree, threshold, norm,
+                              filter_iterations, ops, &matrix);
+  builder.Run();
+  matrix.Finalize();
+  return matrix;
+}
+
+}  // namespace pmjoin

@@ -1,0 +1,31 @@
+#ifndef PMJOIN_CORE_PM_NLJ_H_
+#define PMJOIN_CORE_PM_NLJ_H_
+
+#include "common/op_counters.h"
+#include "common/pair_sink.h"
+#include "common/status.h"
+#include "core/joiners.h"
+#include "core/prediction_matrix.h"
+#include "io/buffer_pool.h"
+
+namespace pmjoin {
+
+/// Prediction-matrix NLJ (Fig. 4): block nested loop join restricted to the
+/// marked page pairs of the prediction matrix.
+///
+/// Following the figure: if all marked pages of the smaller side fit into
+/// the buffer, they are read once and the marked pages of the larger side
+/// are streamed past them. Otherwise the larger side's marked pages are
+/// iterated one at a time, reading each one's marked partners in blocks of
+/// B − 2 (LRU keeps partners shared between consecutive outer pages
+/// resident, which yields the Example-1 behaviour and Lemma 1's
+/// w + min{r, c} lower bound in the favourable cases).
+///
+/// The matrix's rows index R pages, columns index S pages; `pool` provides
+/// the buffer of B pages.
+Status PmNlj(const JoinInput& input, const PredictionMatrix& matrix,
+             BufferPool* pool, PairSink* sink, OpCounters* ops);
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_CORE_PM_NLJ_H_

@@ -1,0 +1,61 @@
+#include "core/reference_join.h"
+
+#include "seq/edit_distance.h"
+
+namespace pmjoin {
+
+void ReferenceVectorJoin(const VectorData& r, const VectorData& s,
+                         double eps, Norm norm, bool self_join,
+                         PairSink* sink) {
+  const size_t nr = r.count();
+  const size_t ns = s.count();
+  for (size_t i = 0; i < nr; ++i) {
+    const std::span<const float> x(r.record(i), r.dims);
+    for (size_t j = 0; j < ns; ++j) {
+      if (self_join && i >= j) continue;
+      if (WithinDistance(x, {s.record(j), s.dims}, norm, eps)) {
+        sink->OnPair(i, j);
+      }
+    }
+  }
+}
+
+void ReferenceTimeSeriesJoin(std::span<const float> x,
+                             std::span<const float> y, uint32_t window_len,
+                             double eps, bool self_join, PairSink* sink) {
+  if (x.size() < window_len || y.size() < window_len) return;
+  const size_t nx = x.size() - window_len + 1;
+  const size_t ny = y.size() - window_len + 1;
+  const double eps2 = eps * eps;
+  for (size_t i = 0; i < nx; ++i) {
+    for (size_t j = 0; j < ny; ++j) {
+      if (self_join && i + window_len > j) continue;
+      double sq = 0.0;
+      for (uint32_t t = 0; t < window_len; ++t) {
+        const double d = double(x[i + t]) - y[j + t];
+        sq += d * d;
+        if (sq > eps2) break;
+      }
+      if (sq <= eps2) sink->OnPair(i, j);
+    }
+  }
+}
+
+void ReferenceStringJoin(std::span<const uint8_t> x,
+                         std::span<const uint8_t> y, uint32_t window_len,
+                         uint32_t max_edits, bool self_join,
+                         PairSink* sink) {
+  if (x.size() < window_len || y.size() < window_len) return;
+  const size_t nx = x.size() - window_len + 1;
+  const size_t ny = y.size() - window_len + 1;
+  for (size_t i = 0; i < nx; ++i) {
+    for (size_t j = 0; j < ny; ++j) {
+      if (self_join && i + window_len > j) continue;
+      const size_t ed = EditDistance(x.subspan(i, window_len),
+                                     y.subspan(j, window_len));
+      if (ed <= max_edits) sink->OnPair(i, j);
+    }
+  }
+}
+
+}  // namespace pmjoin

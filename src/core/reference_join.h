@@ -1,0 +1,36 @@
+#ifndef PMJOIN_CORE_REFERENCE_JOIN_H_
+#define PMJOIN_CORE_REFERENCE_JOIN_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/pair_sink.h"
+#include "data/generators.h"
+#include "geom/distance.h"
+
+namespace pmjoin {
+
+/// Brute-force reference joins over the raw (pre-paging, pre-permutation)
+/// inputs. Every operator in pmjoin must produce exactly these result sets
+/// — the integration tests compare against them. Quadratic; test-scale
+/// inputs only.
+
+/// All (i, j) with distance(r_i, s_j) <= eps. Self join: i < j only.
+void ReferenceVectorJoin(const VectorData& r, const VectorData& s,
+                         double eps, Norm norm, bool self_join,
+                         PairSink* sink);
+
+/// All window pairs with L2 distance <= eps. Self join: x + L <= y only.
+void ReferenceTimeSeriesJoin(std::span<const float> x,
+                             std::span<const float> y, uint32_t window_len,
+                             double eps, bool self_join, PairSink* sink);
+
+/// All window pairs with edit distance <= max_edits. Self join:
+/// x + L <= y only.
+void ReferenceStringJoin(std::span<const uint8_t> x,
+                         std::span<const uint8_t> y, uint32_t window_len,
+                         uint32_t max_edits, bool self_join, PairSink* sink);
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_CORE_REFERENCE_JOIN_H_

@@ -1,0 +1,123 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <unordered_map>
+
+namespace pmjoin {
+namespace {
+
+/// Union-find with path compression (cycle detection for the greedy path).
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool Union(uint32_t a, uint32_t b) {
+    const uint32_t ra = Find(a);
+    const uint32_t rb = Find(b);
+    if (ra == rb) return false;
+    parent_[ra] = rb;
+    return true;
+  }
+
+ private:
+  std::vector<uint32_t> parent_;
+};
+
+}  // namespace
+
+std::vector<SharingEdge> BuildSharingGraph(
+    const std::vector<Cluster>& clusters, const JoinInput& input,
+    OpCounters* ops) {
+  // Inverted index: page -> clusters that need it.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> page_clusters;
+  for (uint32_t i = 0; i < clusters.size(); ++i) {
+    for (const PageId& pid : ClusterPageSet(clusters[i], input)) {
+      page_clusters[(uint64_t(pid.file) << 32) | pid.page].push_back(i);
+      if (ops != nullptr) ++ops->cluster_ops;
+    }
+  }
+  // Accumulate co-occurrence weights.
+  std::map<std::pair<uint32_t, uint32_t>, uint32_t> weights;
+  for (const auto& [page, owners] : page_clusters) {
+    for (size_t x = 0; x < owners.size(); ++x) {
+      for (size_t y = x + 1; y < owners.size(); ++y) {
+        ++weights[{owners[x], owners[y]}];
+        if (ops != nullptr) ++ops->cluster_ops;
+      }
+    }
+  }
+  std::vector<SharingEdge> edges;
+  edges.reserve(weights.size());
+  for (const auto& [key, w] : weights) {
+    edges.push_back(SharingEdge{key.first, key.second, w});
+  }
+  return edges;
+}
+
+std::vector<uint32_t> ScheduleClusters(const std::vector<Cluster>& clusters,
+                                       const JoinInput& input,
+                                       OpCounters* ops) {
+  const uint32_t n = static_cast<uint32_t>(clusters.size());
+  std::vector<uint32_t> order;
+  if (n == 0) return order;
+  if (n == 1) return {0};
+
+  std::vector<SharingEdge> edges = BuildSharingGraph(clusters, input, ops);
+  // Greedy: heaviest edge first; ties broken by (a, b) for determinism.
+  std::sort(edges.begin(), edges.end(),
+            [](const SharingEdge& x, const SharingEdge& y) {
+              if (x.weight != y.weight) return x.weight > y.weight;
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+
+  UnionFind uf(n);
+  std::vector<uint32_t> degree(n, 0);
+  std::vector<std::vector<uint32_t>> adjacent(n);
+  for (const SharingEdge& e : edges) {
+    if (degree[e.a] >= 2 || degree[e.b] >= 2) continue;
+    if (!uf.Union(e.a, e.b)) continue;  // Would close a cycle.
+    ++degree[e.a];
+    ++degree[e.b];
+    adjacent[e.a].push_back(e.b);
+    adjacent[e.b].push_back(e.a);
+    if (ops != nullptr) ++ops->cluster_ops;
+  }
+
+  // Walk each path from an endpoint (degree <= 1); isolated vertices are
+  // their own paths. Components are emitted in ascending endpoint order.
+  std::vector<bool> visited(n, false);
+  order.reserve(n);
+  for (uint32_t start = 0; start < n; ++start) {
+    if (visited[start] || degree[start] > 1) continue;
+    uint32_t current = start;
+    uint32_t previous = UINT32_MAX;
+    while (true) {
+      visited[current] = true;
+      order.push_back(current);
+      uint32_t next = UINT32_MAX;
+      for (uint32_t nb : adjacent[current]) {
+        if (nb != previous && !visited[nb]) {
+          next = nb;
+          break;
+        }
+      }
+      if (next == UINT32_MAX) break;
+      previous = current;
+      current = next;
+    }
+  }
+  return order;
+}
+
+}  // namespace pmjoin

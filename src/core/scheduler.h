@@ -1,0 +1,40 @@
+#ifndef PMJOIN_CORE_SCHEDULER_H_
+#define PMJOIN_CORE_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/op_counters.h"
+#include "core/cluster.h"
+
+namespace pmjoin {
+
+/// An edge of the sharing graph (§8, Definition 1): clusters a and b share
+/// `weight` > 0 physical pages.
+struct SharingEdge {
+  uint32_t a = 0;
+  uint32_t b = 0;
+  uint32_t weight = 0;
+};
+
+/// Builds the sharing graph of a set of clusters: one edge per cluster pair
+/// with at least one shared page, weighted by the number of shared pages.
+/// Built via an inverted page → clusters index, so cost is proportional to
+/// total page-set size plus co-occurrences (not the cluster-pair grid).
+std::vector<SharingEdge> BuildSharingGraph(
+    const std::vector<Cluster>& clusters, const JoinInput& input,
+    OpCounters* ops);
+
+/// Orders the clusters to maximize the pages shared between consecutive
+/// clusters (Lemmas 3–4: a schedule is a Hamiltonian path on the sharing
+/// graph whose weight equals the page reads saved; maximizing it is
+/// TSP-hard, so the paper's greedy heuristic is used: take edges in
+/// descending weight, rejecting any that closes a cycle or gives a vertex
+/// degree three). Returns the processing order as indices into `clusters`.
+std::vector<uint32_t> ScheduleClusters(const std::vector<Cluster>& clusters,
+                                       const JoinInput& input,
+                                       OpCounters* ops);
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_CORE_SCHEDULER_H_

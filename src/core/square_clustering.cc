@@ -1,0 +1,122 @@
+#include "core/square_clustering.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pmjoin {
+
+std::vector<Cluster> SquareClustering(const PredictionMatrix& matrix,
+                                      uint32_t buffer_pages,
+                                      OpCounters* ops) {
+  assert(buffer_pages >= 2);
+  std::vector<Cluster> clusters;
+  if (matrix.MarkedCount() == 0) return clusters;
+
+  // Column-major working copy: unassigned marked rows per column.
+  std::vector<std::vector<uint32_t>> col_rows(matrix.cols());
+  for (uint32_t r = 0; r < matrix.rows(); ++r) {
+    for (uint32_t c : matrix.RowEntries(r)) col_rows[c].push_back(r);
+  }
+  uint64_t remaining = matrix.MarkedCount();
+
+  const uint32_t half = std::max<uint32_t>(1, buffer_pages / 2);
+  std::vector<char> row_selected(matrix.rows(), 0);
+  uint32_t leftmost = 0;
+
+  while (remaining > 0) {
+    // Advance to the leftmost column that still has unassigned entries.
+    while (leftmost < matrix.cols() && col_rows[leftmost].empty())
+      ++leftmost;
+    assert(leftmost < matrix.cols());
+
+    // Phase A (Fig. 6 steps a–b): scan up to B/2 candidate columns,
+    // recording candidate rows in order of first appearance.
+    std::vector<uint32_t> scan_cols;
+    std::vector<uint32_t> first_seen_rows;
+    uint32_t cursor = leftmost;
+    while (scan_cols.size() < half && cursor < matrix.cols()) {
+      if (!col_rows[cursor].empty()) {
+        scan_cols.push_back(cursor);
+        for (uint32_t row : col_rows[cursor]) {
+          if (ops != nullptr) ++ops->cluster_ops;
+          if (!row_selected[row]) {
+            row_selected[row] = 1;  // Temporarily: "seen".
+            first_seen_rows.push_back(row);
+          }
+        }
+      }
+      ++cursor;
+    }
+    // Reset the seen marks; below only the chosen prefix stays selected.
+    for (uint32_t row : first_seen_rows) row_selected[row] = 0;
+
+    // Fig. 6 step b–c: select the first r candidate rows with r ≈ B/2
+    // (equal split; Theorem 2) but never exceeding the buffer together
+    // with the columns scanned so far.
+    uint32_t r_count = static_cast<uint32_t>(
+        std::min<size_t>(first_seen_rows.size(), half));
+    r_count = std::min(
+        r_count, buffer_pages - static_cast<uint32_t>(scan_cols.size()));
+    r_count = std::max<uint32_t>(r_count, 1);
+    first_seen_rows.resize(r_count);
+    for (uint32_t row : first_seen_rows) row_selected[row] = 1;
+
+    // Count columns that actually intersect the selected rows.
+    auto intersects_selection = [&](uint32_t c) {
+      for (uint32_t row : col_rows[c]) {
+        if (ops != nullptr) ++ops->cluster_ops;
+        if (row_selected[row]) return true;
+      }
+      return false;
+    };
+    uint32_t c_effective = 0;
+    for (uint32_t c : scan_cols) {
+      if (intersects_selection(c)) ++c_effective;
+    }
+
+    // Fig. 6 step e: extend with further columns while buffer space
+    // remains (r + c < B). Columns not touching the selected rows are
+    // skipped (their entries stay for later clusters).
+    while (r_count + c_effective < buffer_pages && cursor < matrix.cols()) {
+      if (!col_rows[cursor].empty() && intersects_selection(cursor)) {
+        scan_cols.push_back(cursor);
+        ++c_effective;
+      }
+      ++cursor;
+    }
+
+    // Fig. 6 step f: assign the entries in selected rows × scanned columns.
+    Cluster cluster;
+    std::vector<char> row_used(matrix.rows(), 0);
+    for (uint32_t c : scan_cols) {
+      std::vector<uint32_t>& rows = col_rows[c];
+      bool any = false;
+      std::vector<uint32_t> kept;
+      kept.reserve(rows.size());
+      for (uint32_t row : rows) {
+        if (ops != nullptr) ++ops->cluster_ops;
+        if (row_selected[row]) {
+          cluster.entries.push_back(MatrixEntry{row, c});
+          row_used[row] = 1;
+          any = true;
+        } else {
+          kept.push_back(row);
+        }
+      }
+      remaining -= rows.size() - kept.size();
+      rows = std::move(kept);
+      if (any) cluster.cols.push_back(c);
+    }
+    for (uint32_t row : first_seen_rows) {
+      if (row_used[row]) cluster.rows.push_back(row);
+      row_selected[row] = 0;
+    }
+    std::sort(cluster.rows.begin(), cluster.rows.end());
+    std::sort(cluster.entries.begin(), cluster.entries.end());
+    assert(!cluster.entries.empty());
+    clusters.push_back(std::move(cluster));
+  }
+  return clusters;
+}
+
+}  // namespace pmjoin

@@ -1,0 +1,72 @@
+#ifndef PMJOIN_DATA_GENERATORS_H_
+#define PMJOIN_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pmjoin {
+
+/// Synthetic stand-ins for the paper's real datasets. Each generator
+/// reproduces the property the corresponding experiment exercises; the
+/// substitutions are documented in DESIGN.md ("Dataset substitutions").
+/// All generators are deterministic in `seed`.
+
+/// A flat row-major matrix of `count` × `dims` float records.
+struct VectorData {
+  size_t dims = 0;
+  std::vector<float> values;
+
+  size_t count() const { return dims == 0 ? 0 : values.size() / dims; }
+  const float* record(size_t i) const { return values.data() + i * dims; }
+};
+
+/// Road-intersection-like 2-d points (stand-in for the TIGER LBeach /
+/// MCounty datasets): points jittered along a web of noisy polyline roads
+/// in the unit square, denser near road crossings — yielding the skewed,
+/// locally dense distribution that drives spatial-join cost.
+VectorData GenRoadNetwork(size_t count, uint64_t seed, size_t num_roads = 40);
+
+/// Landsat-like high-dimensional feature vectors (stand-in for the 60-d
+/// satellite image features): a Gaussian mixture whose cluster covariances
+/// are low-rank (few latent factors), giving the strong inter-dimension
+/// correlation typical of image features.
+VectorData GenCorrelatedClusters(size_t count, size_t dims, uint64_t seed,
+                                 size_t num_clusters = 32,
+                                 size_t latent_factors = 6);
+
+/// Uniform points in the unit hypercube (used by tests as an uncorrelated
+/// control distribution).
+VectorData GenUniform(size_t count, size_t dims, uint64_t seed);
+
+/// Genome-like DNA (alphabet {0,1,2,3} = {A,C,G,T}): an order-2 Markov
+/// chain with planted repeat blocks. Repeats are copied from a motif pool
+/// with per-symbol mutation rate `mutation_rate`, producing the local
+/// self-similarity (and hence join selectivity) of real chromosomes.
+///
+/// `regime_scale` scales the isochore (composition-regime) block length
+/// (nominally 20k–80k symbols); pass the same factor used to scale the
+/// sequence length so the regime structure stays self-similar across
+/// scaled-down benchmark datasets.
+std::vector<uint8_t> GenDnaSequence(size_t length, uint64_t seed,
+                                    double repeat_fraction = 0.30,
+                                    double mutation_rate = 0.02,
+                                    double regime_scale = 1.0);
+
+/// Two genomes sharing a motif pool (stand-in for the human/mouse
+/// chromosome-18 pair): cross-sequence homology comes from the shared
+/// motifs, intra-sequence repeats from re-use within each sequence.
+void GenDnaPair(size_t length_a, size_t length_b, uint64_t seed,
+                std::vector<uint8_t>* a, std::vector<uint8_t>* b,
+                double repeat_fraction = 0.30, double mutation_rate = 0.02,
+                double regime_scale = 1.0);
+
+/// Stock-price-like random walk with regime-switching drift (stand-in for
+/// closing-price series in the subsequence-join motivation query).
+std::vector<float> GenRandomWalk(size_t length, uint64_t seed,
+                                 double volatility = 0.01);
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_DATA_GENERATORS_H_

@@ -1,0 +1,57 @@
+#ifndef PMJOIN_DATA_SEQUENCE_DATASET_H_
+#define PMJOIN_DATA_SEQUENCE_DATASET_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/result.h"
+#include "io/simulated_disk.h"
+#include "seq/sequence_store.h"
+
+namespace pmjoin {
+
+/// Convenience builders wiring the synthetic sequence generators
+/// (data/generators.h) to the paged sequence stores (seq/sequence_store.h).
+
+struct DnaStoreParams {
+  size_t length = 0;
+  uint64_t seed = 1;
+  /// Subsequence (window) length L; the paper's genome query uses 500.
+  uint32_t window_len = 500;
+  uint32_t page_size_bytes = 4096;
+  double repeat_fraction = 0.30;
+  double mutation_rate = 0.02;
+};
+
+/// Builds a DNA StringSequenceStore from the synthetic genome generator.
+Result<StringSequenceStore> BuildDnaStore(SimulatedDisk* disk,
+                                          std::string_view name,
+                                          const DnaStoreParams& params);
+
+/// Builds a homologous pair of DNA stores (shared motif pool — the
+/// HChr18/MChr18 stand-in). Both stores are registered on `disk`.
+Status BuildDnaStorePair(SimulatedDisk* disk, std::string_view name_a,
+                         std::string_view name_b, const DnaStoreParams& a,
+                         const DnaStoreParams& b,
+                         StringSequenceStore* out_a,
+                         StringSequenceStore* out_b);
+
+struct WalkStoreParams {
+  size_t length = 0;
+  uint64_t seed = 1;
+  /// Window length L; "one month" of closing prices ≈ 32 (divisible f).
+  uint32_t window_len = 32;
+  /// PAA feature dimensionality f (must divide window_len).
+  uint32_t paa_dims = 8;
+  uint32_t page_size_bytes = 4096;
+  double volatility = 0.01;
+};
+
+/// Builds a stock-like TimeSeriesStore from the random-walk generator.
+Result<TimeSeriesStore> BuildWalkStore(SimulatedDisk* disk,
+                                       std::string_view name,
+                                       const WalkStoreParams& params);
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_DATA_SEQUENCE_DATASET_H_

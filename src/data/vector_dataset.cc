@@ -1,0 +1,107 @@
+#include "data/vector_dataset.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "index/str_bulk_load.h"
+
+namespace pmjoin {
+
+Result<VectorDataset> VectorDataset::Build(SimulatedDisk* disk,
+                                           std::string_view name,
+                                           VectorData data, Options options) {
+  if (disk == nullptr)
+    return Status::InvalidArgument("VectorDataset: null disk");
+  if (data.dims == 0 || data.values.empty())
+    return Status::InvalidArgument("VectorDataset: empty data");
+  if (data.values.size() % data.dims != 0)
+    return Status::InvalidArgument("VectorDataset: ragged data");
+  const uint32_t rpp = static_cast<uint32_t>(
+      options.page_size_bytes / (data.dims * sizeof(float)));
+  if (rpp == 0)
+    return Status::InvalidArgument(
+        "VectorDataset: page smaller than one record");
+
+  VectorDataset ds;
+  ds.dims_ = data.dims;
+  ds.records_per_page_ = rpp;
+
+  const size_t n = data.count();
+
+  // STR-pack record MBRs (degenerate point boxes) into page-sized groups.
+  std::vector<Mbr> boxes;
+  boxes.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    boxes.push_back(Mbr::FromPoint(
+        std::span<const float>(data.record(i), data.dims)));
+  }
+  std::vector<std::vector<uint32_t>> groups = StrPack(boxes, rpp);
+
+  // Flatten the STR order, then slice into pages of exactly `rpp` records
+  // (groups at slab boundaries can be short; sequential slicing keeps page
+  // occupancy uniform while preserving the spatial ordering).
+  std::vector<uint32_t> order;
+  order.reserve(n);
+  for (const std::vector<uint32_t>& g : groups)
+    order.insert(order.end(), g.begin(), g.end());
+
+  const size_t num_pages = (n + rpp - 1) / rpp;
+  ds.packed_.reserve(n * data.dims);
+  ds.orig_ids_.reserve(n);
+  ds.origin_pos_.resize(n);
+  ds.page_mbrs_.reserve(num_pages);
+  std::vector<RStarTree::Entry> leaf_entries;
+  leaf_entries.reserve(num_pages);
+
+  for (size_t p = 0; p < num_pages; ++p) {
+    Mbr page_mbr(data.dims);
+    const size_t end = std::min(n, (p + 1) * size_t(rpp));
+    for (size_t i = p * rpp; i < end; ++i) {
+      const uint32_t orig = order[i];
+      const std::span<const float> rec(data.record(orig), data.dims);
+      ds.origin_pos_[orig] = ds.orig_ids_.size();
+      ds.orig_ids_.push_back(orig);
+      ds.packed_.insert(ds.packed_.end(), rec.begin(), rec.end());
+      page_mbr.Expand(rec);
+    }
+    leaf_entries.push_back(
+        RStarTree::Entry{page_mbr, static_cast<uint32_t>(p)});
+    ds.page_mbrs_.push_back(std::move(page_mbr));
+  }
+
+  ds.tree_ = RStarTree::BulkLoadStr(data.dims, std::move(leaf_entries));
+  ds.file_id_ = disk->CreateFile(
+      name, static_cast<uint32_t>(ds.page_mbrs_.size()));
+  // Node file for index-based operators (BFRJ) so node I/O is chargeable.
+  ds.tree_.AttachFile(disk, std::string(name) + ".idx");
+  return ds;
+}
+
+uint32_t VectorDataset::PageRecordCount(uint32_t page) const {
+  const uint64_t first = uint64_t(page) * records_per_page_;
+  const uint64_t remaining = num_records() - first;
+  return static_cast<uint32_t>(
+      remaining < records_per_page_ ? remaining : records_per_page_);
+}
+
+std::span<const float> VectorDataset::Record(uint32_t page,
+                                             uint32_t slot) const {
+  const uint64_t pos = uint64_t(page) * records_per_page_ + slot;
+  assert(pos < num_records());
+  return std::span<const float>(packed_.data() + pos * dims_, dims_);
+}
+
+uint64_t VectorDataset::OriginalId(uint32_t page, uint32_t slot) const {
+  const uint64_t pos = uint64_t(page) * records_per_page_ + slot;
+  assert(pos < num_records());
+  return orig_ids_[pos];
+}
+
+std::span<const float> VectorDataset::RecordByOriginalId(
+    uint64_t orig_id) const {
+  assert(orig_id < num_records());
+  const uint64_t pos = origin_pos_[orig_id];
+  return std::span<const float>(packed_.data() + pos * dims_, dims_);
+}
+
+}  // namespace pmjoin

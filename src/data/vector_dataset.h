@@ -1,0 +1,90 @@
+#ifndef PMJOIN_DATA_VECTOR_DATASET_H_
+#define PMJOIN_DATA_VECTOR_DATASET_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "data/generators.h"
+#include "geom/mbr.h"
+#include "index/rstar_tree.h"
+#include "io/simulated_disk.h"
+
+namespace pmjoin {
+
+/// A paged, spatially clustered vector (point/spatial) dataset.
+///
+/// Construction follows the paper's §5.1 setup: records are packed into
+/// pages with STR so each page is spatially tight, the page contents are
+/// contiguous on disk (page i precedes page i+1 physically), each page's
+/// MBR is its lower-bounding summary, and an R*-tree is bulk-loaded over
+/// the page MBRs ("the capacity of each MBR is set to one page size").
+///
+/// Record identity: operators report the *original* record index (the
+/// index into the `VectorData` passed to `Build`), so results from every
+/// operator — and the brute-force reference join — are directly comparable
+/// regardless of the on-disk permutation.
+class VectorDataset {
+ public:
+  struct Options {
+    /// Page capacity in bytes; records per page = page_size_bytes /
+    /// (dims · sizeof(float)).
+    uint32_t page_size_bytes = 4096;
+  };
+
+  /// Builds the dataset on `disk`. Fails if a page cannot hold at least
+  /// one record or `data` is empty.
+  static Result<VectorDataset> Build(SimulatedDisk* disk,
+                                     std::string_view name, VectorData data,
+                                     Options options);
+
+  size_t dims() const { return dims_; }
+  uint64_t num_records() const { return orig_ids_.size(); }
+  uint32_t num_pages() const {
+    return static_cast<uint32_t>(page_mbrs_.size());
+  }
+  uint32_t records_per_page() const { return records_per_page_; }
+  uint32_t file_id() const { return file_id_; }
+
+  /// MBR of page p (the lower-bounding summary used by the prediction
+  /// matrix).
+  const Mbr& PageMbr(uint32_t page) const { return page_mbrs_[page]; }
+  const std::vector<Mbr>& page_mbrs() const { return page_mbrs_; }
+
+  /// Number of records stored in page p (only the last page may be short).
+  uint32_t PageRecordCount(uint32_t page) const;
+
+  /// Record `slot` of page `page` (a dims()-length span).
+  std::span<const float> Record(uint32_t page, uint32_t slot) const;
+
+  /// Original (pre-permutation) id of record `slot` of page `page`.
+  uint64_t OriginalId(uint32_t page, uint32_t slot) const;
+
+  /// Record lookup by original id (used by the reference join and tests).
+  std::span<const float> RecordByOriginalId(uint64_t orig_id) const;
+
+  /// R*-tree over the page MBRs (leaf entry ids are page indices).
+  const RStarTree& tree() const { return tree_; }
+  RStarTree* mutable_tree() { return &tree_; }
+
+ private:
+  VectorDataset() : tree_(1) {}
+
+  size_t dims_ = 0;
+  uint32_t records_per_page_ = 0;
+  uint32_t file_id_ = 0;
+  /// Records in page order (page p occupies slots [p·rpp, (p+1)·rpp)).
+  std::vector<float> packed_;
+  /// orig_ids_[p·rpp + slot] = original record index.
+  std::vector<uint64_t> orig_ids_;
+  /// origin_pos_[orig_id] = packed position.
+  std::vector<uint64_t> origin_pos_;
+  std::vector<Mbr> page_mbrs_;
+  RStarTree tree_;
+};
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_DATA_VECTOR_DATASET_H_

@@ -1,0 +1,68 @@
+#include "index/str_bulk_load.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pmjoin {
+namespace {
+
+/// Recursively partitions `idx[lo, hi)` (indices into `items`) into groups
+/// of at most `capacity`, sorting by center along `dim` and slicing into
+/// slabs, then recursing on the next dimension.
+void PackRecursive(const std::vector<Mbr>& items, std::vector<uint32_t>& idx,
+                   size_t lo, size_t hi, size_t dim, size_t capacity,
+                   std::vector<std::vector<uint32_t>>* groups) {
+  const size_t n = hi - lo;
+  if (n == 0) return;
+  const size_t dims = items[idx[lo]].dims();
+  if (n <= capacity) {
+    groups->emplace_back(idx.begin() + lo, idx.begin() + hi);
+    return;
+  }
+
+  std::sort(idx.begin() + lo, idx.begin() + hi,
+            [&items, dim](uint32_t a, uint32_t b) {
+              const double ca = items[a].Center(dim);
+              const double cb = items[b].Center(dim);
+              if (ca != cb) return ca < cb;
+              return a < b;  // Deterministic tie-break.
+            });
+
+  if (dim + 1 >= dims) {
+    // Last dimension: emit consecutive chunks.
+    for (size_t i = lo; i < hi; i += capacity) {
+      const size_t end = std::min(i + capacity, hi);
+      groups->emplace_back(idx.begin() + i, idx.begin() + end);
+    }
+    return;
+  }
+
+  // Number of groups needed and slab count: S = ceil(P^(1/remaining_dims)).
+  const size_t p = (n + capacity - 1) / capacity;
+  const double remaining = static_cast<double>(dims - dim);
+  size_t slabs = static_cast<size_t>(
+      std::ceil(std::pow(static_cast<double>(p), 1.0 / remaining)));
+  slabs = std::max<size_t>(1, std::min(slabs, p));
+  const size_t per_slab = (n + slabs - 1) / slabs;
+
+  for (size_t i = lo; i < hi; i += per_slab) {
+    const size_t end = std::min(i + per_slab, hi);
+    PackRecursive(items, idx, i, end, dim + 1, capacity, groups);
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<uint32_t>> StrPack(const std::vector<Mbr>& items,
+                                           size_t capacity) {
+  assert(capacity > 0);
+  std::vector<std::vector<uint32_t>> groups;
+  if (items.empty()) return groups;
+  std::vector<uint32_t> idx(items.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<uint32_t>(i);
+  PackRecursive(items, idx, 0, idx.size(), 0, capacity, &groups);
+  return groups;
+}
+
+}  // namespace pmjoin

@@ -1,0 +1,136 @@
+#include "io/buffer_pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "io/disk_scheduler.h"
+
+namespace pmjoin {
+
+BufferPool::BufferPool(SimulatedDisk* disk, uint32_t capacity)
+    : disk_(disk), capacity_(capacity) {
+  assert(disk != nullptr);
+  assert(capacity > 0);
+}
+
+Status BufferPool::EvictOne() {
+  if (lru_.empty())
+    return Status::BufferFull("all resident pages are pinned");
+  PageId victim = lru_.front();
+  lru_.pop_front();
+  frames_.erase(victim);
+  return Status::OK();
+}
+
+Status BufferPool::Ensure(PageId pid, std::vector<PageId>* missed) {
+  auto it = frames_.find(pid);
+  if (it != frames_.end()) {
+    ++disk_->mutable_stats().buffer_hits;
+    // Refresh LRU position if unpinned.
+    Frame& f = it->second;
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.lru_pos = lru_.insert(lru_.end(), pid);
+    }
+    return Status::OK();
+  }
+  if (frames_.size() >= capacity_) {
+    PMJOIN_RETURN_IF_ERROR(EvictOne());
+  }
+  if (missed != nullptr) {
+    missed->push_back(pid);
+  } else {
+    PMJOIN_RETURN_IF_ERROR(disk_->ReadPage(pid));
+  }
+  Frame f;
+  f.lru_pos = lru_.insert(lru_.end(), pid);
+  f.in_lru = true;
+  frames_.emplace(pid, f);
+  return Status::OK();
+}
+
+Status BufferPool::Pin(PageId pid) {
+  PMJOIN_RETURN_IF_ERROR(Ensure(pid, nullptr));
+  Frame& f = frames_.at(pid);
+  if (f.pin_count == 0) {
+    ++pinned_count_;
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+  }
+  ++f.pin_count;
+  return Status::OK();
+}
+
+Status BufferPool::Touch(PageId pid) { return Ensure(pid, nullptr); }
+
+void BufferPool::Unpin(PageId pid) {
+  auto it = frames_.find(pid);
+  assert(it != frames_.end() && "Unpin of non-resident page");
+  Frame& f = it->second;
+  assert(f.pin_count > 0 && "Unpin of unpinned page");
+  --f.pin_count;
+  if (f.pin_count == 0) {
+    --pinned_count_;
+    f.lru_pos = lru_.insert(lru_.end(), pid);
+    f.in_lru = true;
+  }
+}
+
+Status BufferPool::PinBatch(std::span<const PageId> pages) {
+  // Pin already-resident pages first: a miss admitted later can only evict
+  // unpinned frames, so the batch's own resident pages can never be pushed
+  // out before they are used (this preserves cross-cluster reuse even when
+  // the batch fills the whole pool).
+  std::vector<PageId> ordered(pages.begin(), pages.end());
+  std::stable_partition(
+      ordered.begin(), ordered.end(),
+      [this](const PageId& pid) { return frames_.count(pid) > 0; });
+
+  std::vector<PageId> missed;
+  missed.reserve(ordered.size());
+  // Register residency, collecting misses without charging I/O, so the
+  // whole miss set can be read with one seek-optimal schedule.
+  size_t done = 0;
+  Status st;
+  for (const PageId& pid : ordered) {
+    st = Ensure(pid, &missed);
+    if (!st.ok()) break;
+    Frame& f = frames_.at(pid);
+    if (f.pin_count == 0) {
+      ++pinned_count_;
+      if (f.in_lru) {
+        lru_.erase(f.lru_pos);
+        f.in_lru = false;
+      }
+    }
+    ++f.pin_count;
+    ++done;
+  }
+  if (!st.ok()) {
+    // Roll back the pins acquired so far.
+    for (size_t i = 0; i < done; ++i) Unpin(ordered[i]);
+    return st;
+  }
+  std::vector<PageRun> schedule = BuildSchedule(*disk_, std::move(missed));
+  return ExecuteSchedule(disk_, schedule);
+}
+
+void BufferPool::UnpinBatch(std::span<const PageId> pages) {
+  for (const PageId& pid : pages) Unpin(pid);
+}
+
+bool BufferPool::Contains(PageId pid) const {
+  return frames_.find(pid) != frames_.end();
+}
+
+Status BufferPool::Clear() {
+  if (pinned_count_ > 0)
+    return Status::Internal("Clear with pinned pages outstanding");
+  frames_.clear();
+  lru_.clear();
+  return Status::OK();
+}
+
+}  // namespace pmjoin

@@ -1,0 +1,112 @@
+#ifndef PMJOIN_IO_BUFFER_POOL_H_
+#define PMJOIN_IO_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "io/page_file.h"
+#include "io/simulated_disk.h"
+
+namespace pmjoin {
+
+/// Fixed-capacity page buffer with LRU replacement (paper §4: "We will use
+/// LRU as the page replacement policy due to its simplicity and
+/// effectiveness").
+///
+/// The pool tracks *residency*, not payload bytes (payloads live with the
+/// datasets; the disk is simulated). A page access that hits the pool is
+/// free and counted in `IoStats::buffer_hits`; a miss evicts the LRU
+/// unpinned page if the pool is full and charges the simulated disk.
+///
+/// Cluster reuse across consecutive clusters (the paper's Optimization 3)
+/// falls out of this design: pages shared with the previous cluster are
+/// still resident and hit the pool.
+class BufferPool {
+ public:
+  /// A pool holding at most `capacity` pages. `disk` must outlive the pool.
+  BufferPool(SimulatedDisk* disk, uint32_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Makes `pid` resident (reading it from disk if needed) and pins it.
+  /// Pinned pages are never evicted; fails with BufferFull if the pool is
+  /// full of pinned pages.
+  Status Pin(PageId pid);
+
+  /// Makes `pid` resident without pinning (it is immediately evictable).
+  Status Touch(PageId pid);
+
+  /// Releases one pin on `pid`. The page stays resident (LRU) until evicted.
+  void Unpin(PageId pid);
+
+  /// Pins a batch. Misses are fetched with the seek-optimal disk schedule
+  /// (io/disk_scheduler.h); hits cost nothing. The batch must fit:
+  /// `pages.size() + pinned pages` must be <= capacity.
+  Status PinBatch(std::span<const PageId> pages);
+
+  /// Unpins every page in `pages` (each exactly once).
+  void UnpinBatch(std::span<const PageId> pages);
+
+  /// True iff the page is resident (pinned or not).
+  bool Contains(PageId pid) const;
+
+  /// Drops all unpinned pages (used between independent experiment phases).
+  /// Fails if any page is still pinned.
+  Status Clear();
+
+  uint32_t capacity() const { return capacity_; }
+  uint32_t ResidentCount() const { return static_cast<uint32_t>(frames_.size()); }
+  uint32_t PinnedCount() const { return pinned_count_; }
+
+  SimulatedDisk* disk() { return disk_; }
+
+ private:
+  struct Frame {
+    uint32_t pin_count = 0;
+    /// Position in lru_ when pin_count == 0; lru_.end() otherwise.
+    std::list<PageId>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  /// Ensures residency; appends to `missed` instead of reading when the
+  /// page is absent (batch path) or reads immediately when `missed` is null.
+  Status Ensure(PageId pid, std::vector<PageId>* missed);
+
+  /// Evicts one LRU unpinned page; BufferFull if none exists.
+  Status EvictOne();
+
+  SimulatedDisk* disk_;
+  uint32_t capacity_;
+  uint32_t pinned_count_ = 0;
+  std::unordered_map<PageId, Frame, PageIdHash> frames_;
+  /// Unpinned resident pages, least-recently-used first.
+  std::list<PageId> lru_;
+};
+
+/// RAII batch pin: pins in the constructor caller's hands, unpins on
+/// destruction.
+class PinnedBatch {
+ public:
+  PinnedBatch(BufferPool* pool, std::vector<PageId> pages)
+      : pool_(pool), pages_(std::move(pages)) {}
+  ~PinnedBatch() {
+    if (pool_ != nullptr) pool_->UnpinBatch(pages_);
+  }
+  PinnedBatch(const PinnedBatch&) = delete;
+  PinnedBatch& operator=(const PinnedBatch&) = delete;
+
+  const std::vector<PageId>& pages() const { return pages_; }
+
+ private:
+  BufferPool* pool_;
+  std::vector<PageId> pages_;
+};
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_IO_BUFFER_POOL_H_

@@ -1,0 +1,26 @@
+#ifndef PMJOIN_IO_DISK_MODEL_H_
+#define PMJOIN_IO_DISK_MODEL_H_
+
+namespace pmjoin {
+
+/// Parameters of the simulated linear disk (paper §4: "a finite buffer of B
+/// pages and a linear disk model").
+///
+/// A page access costs one sequential transfer; if the page is not physically
+/// adjacent to the previously accessed page, a random seek is charged on top.
+/// Defaults approximate a early-2000s commodity drive: ~10 ms average seek
+/// (seek + rotational latency) and ~1 ms to stream one page. All reported
+/// I/O "seconds" in benches derive from these two constants, so algorithm
+/// comparisons depend only on their *ratio* (10:1), which is what makes
+/// random access expensive — the effect the paper's CC clustering targets.
+struct DiskModel {
+  /// Cost of a random seek, in seconds.
+  double seek_sec = 0.010;
+
+  /// Cost of transferring one page, in seconds.
+  double transfer_sec = 0.001;
+};
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_IO_DISK_MODEL_H_

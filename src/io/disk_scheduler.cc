@@ -1,0 +1,42 @@
+#include "io/disk_scheduler.h"
+
+#include <algorithm>
+
+namespace pmjoin {
+
+std::vector<PageRun> BuildSchedule(const SimulatedDisk& disk,
+                                   std::vector<PageId> pages) {
+  std::vector<PageRun> runs;
+  if (pages.empty()) return runs;
+
+  std::sort(pages.begin(), pages.end(),
+            [&disk](const PageId& a, const PageId& b) {
+              return disk.file(a.file).PhysicalOffset(a.page) <
+                     disk.file(b.file).PhysicalOffset(b.page);
+            });
+  pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+
+  PageRun current{pages[0], 1};
+  for (size_t i = 1; i < pages.size(); ++i) {
+    const PageId& p = pages[i];
+    const bool adjacent = p.file == current.start.file &&
+                          p.page == current.start.page + current.length;
+    if (adjacent) {
+      ++current.length;
+    } else {
+      runs.push_back(current);
+      current = PageRun{p, 1};
+    }
+  }
+  runs.push_back(current);
+  return runs;
+}
+
+Status ExecuteSchedule(SimulatedDisk* disk, const std::vector<PageRun>& runs) {
+  for (const PageRun& run : runs) {
+    PMJOIN_RETURN_IF_ERROR(disk->ReadRun(run.start, run.length));
+  }
+  return Status::OK();
+}
+
+}  // namespace pmjoin

@@ -1,0 +1,34 @@
+#ifndef PMJOIN_IO_DISK_SCHEDULER_H_
+#define PMJOIN_IO_DISK_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "io/page_file.h"
+#include "io/simulated_disk.h"
+
+namespace pmjoin {
+
+/// A maximal run of physically consecutive pages within one file.
+struct PageRun {
+  PageId start;
+  uint32_t length = 0;
+};
+
+/// Multi-page request scheduling (paper §8 step 1, citing Seeger '96):
+/// given an unordered set of pages to fetch, read them in physical-address
+/// order with adjacent pages coalesced into runs, which minimizes the
+/// number of random seeks on a linear disk.
+///
+/// `BuildSchedule` is deterministic and duplicate-free: duplicate PageIds
+/// are fetched once.
+std::vector<PageRun> BuildSchedule(const SimulatedDisk& disk,
+                                   std::vector<PageId> pages);
+
+/// Executes a schedule against the disk (charges I/O).
+Status ExecuteSchedule(SimulatedDisk* disk, const std::vector<PageRun>& runs);
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_IO_DISK_SCHEDULER_H_

@@ -1,0 +1,60 @@
+#include "io/external_sort.h"
+
+#include <algorithm>
+
+namespace pmjoin {
+
+ExternalSortPlan PlanExternalSort(uint64_t pages, uint32_t buffer_pages) {
+  ExternalSortPlan plan;
+  plan.pages = pages;
+  plan.buffer_pages = std::max<uint32_t>(2, buffer_pages);
+  if (pages == 0) return plan;
+
+  plan.initial_runs =
+      (pages + plan.buffer_pages - 1) / plan.buffer_pages;
+  const uint64_t fan_in = std::max<uint32_t>(2, plan.buffer_pages - 1);
+  uint64_t runs = plan.initial_runs;
+  while (runs > 1) {
+    runs = (runs + fan_in - 1) / fan_in;
+    ++plan.merge_passes;
+  }
+  // Run formation + one read/write of the whole file per merge pass.
+  plan.page_reads = pages * (1 + plan.merge_passes);
+  plan.page_writes = pages * (1 + plan.merge_passes);
+  return plan;
+}
+
+Status ChargeExternalSort(SimulatedDisk* disk, uint32_t pages,
+                          uint32_t buffer_pages) {
+  if (pages == 0) return Status::OK();
+  const ExternalSortPlan plan = PlanExternalSort(pages, buffer_pages);
+  const uint32_t scratch_a = disk->CreateFile("sort-scratch-a", pages);
+  const uint32_t scratch_b = disk->CreateFile("sort-scratch-b", pages);
+  const uint32_t fan_in = std::max<uint32_t>(2, plan.buffer_pages - 1);
+
+  // Run formation: read input chunks, write sorted runs.
+  for (uint32_t p = 0; p < pages; p += plan.buffer_pages) {
+    const uint32_t len = std::min<uint32_t>(plan.buffer_pages, pages - p);
+    PMJOIN_RETURN_IF_ERROR(disk->ReadRun({scratch_a, p}, len));
+    for (uint32_t i = 0; i < len; ++i) {
+      PMJOIN_RETURN_IF_ERROR(disk->WritePage({scratch_b, p + i}));
+    }
+  }
+  // Merge passes: every page read once (one seek per chunk of fan_in) and
+  // written once.
+  uint32_t src = scratch_b;
+  uint32_t dst = scratch_a;
+  for (uint32_t pass = 0; pass < plan.merge_passes; ++pass) {
+    for (uint32_t start = 0; start < pages; start += fan_in) {
+      const uint32_t len = std::min<uint32_t>(fan_in, pages - start);
+      PMJOIN_RETURN_IF_ERROR(disk->ReadRun({src, start}, len));
+      for (uint32_t i = 0; i < len; ++i) {
+        PMJOIN_RETURN_IF_ERROR(disk->WritePage({dst, start + i}));
+      }
+    }
+    std::swap(src, dst);
+  }
+  return Status::OK();
+}
+
+}  // namespace pmjoin

@@ -1,0 +1,47 @@
+#ifndef PMJOIN_IO_EXTERNAL_SORT_H_
+#define PMJOIN_IO_EXTERNAL_SORT_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "io/simulated_disk.h"
+
+namespace pmjoin {
+
+/// Cost plan of an external merge sort of a `pages`-page file with a
+/// `buffer_pages` workspace: run formation reads and writes the file once
+/// (runs of `buffer_pages` pages), then each (B−1)-way merge pass reads
+/// and writes the file once more.
+///
+/// EGO's reordering step (§2.1: records must be rearranged into ε-grid
+/// lexicographic order) is charged through this plan; the planner is also
+/// unit-testable against the textbook pass-count formula
+/// ceil(log_{B−1}(ceil(N/B))).
+struct ExternalSortPlan {
+  uint64_t pages = 0;
+  uint32_t buffer_pages = 0;
+
+  /// Number of initial sorted runs, ceil(pages / buffer).
+  uint64_t initial_runs = 0;
+
+  /// Number of merge passes after run formation.
+  uint32_t merge_passes = 0;
+
+  /// Total page transfers in each direction (run formation + merges).
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+};
+
+/// Computes the plan. `buffer_pages` is clamped to >= 2 internally
+/// (a one-page buffer cannot merge).
+ExternalSortPlan PlanExternalSort(uint64_t pages, uint32_t buffer_pages);
+
+/// Charges the plan's I/O against `disk` using scratch files (reads and
+/// writes stream in buffer-sized chunks; one seek per chunk switch, the
+/// alternating-extent behaviour of a two-drive-free merge sort).
+Status ChargeExternalSort(SimulatedDisk* disk, uint32_t pages,
+                          uint32_t buffer_pages);
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_IO_EXTERNAL_SORT_H_

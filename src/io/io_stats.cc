@@ -1,0 +1,34 @@
+#include "io/io_stats.h"
+
+#include <sstream>
+
+namespace pmjoin {
+
+IoStats IoStats::Delta(const IoStats& start) const {
+  IoStats d;
+  d.pages_read = pages_read - start.pages_read;
+  d.pages_written = pages_written - start.pages_written;
+  d.seeks = seeks - start.seeks;
+  d.sequential_reads = sequential_reads - start.sequential_reads;
+  d.buffer_hits = buffer_hits - start.buffer_hits;
+  return d;
+}
+
+IoStats& IoStats::operator+=(const IoStats& other) {
+  pages_read += other.pages_read;
+  pages_written += other.pages_written;
+  seeks += other.seeks;
+  sequential_reads += other.sequential_reads;
+  buffer_hits += other.buffer_hits;
+  return *this;
+}
+
+std::string IoStats::ToString() const {
+  std::ostringstream os;
+  os << "pages_read=" << pages_read << " pages_written=" << pages_written
+     << " seeks=" << seeks << " sequential_reads=" << sequential_reads
+     << " buffer_hits=" << buffer_hits;
+  return os.str();
+}
+
+}  // namespace pmjoin

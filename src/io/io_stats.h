@@ -1,0 +1,50 @@
+#ifndef PMJOIN_IO_IO_STATS_H_
+#define PMJOIN_IO_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "io/disk_model.h"
+
+namespace pmjoin {
+
+/// Monotonic I/O counters maintained by the simulated disk.
+///
+/// Take a snapshot before a phase and call `Delta` after it to attribute
+/// I/O to that phase; `ModeledSeconds` converts counters to modeled time
+/// under a `DiskModel`.
+struct IoStats {
+  /// Pages transferred from disk (reads).
+  uint64_t pages_read = 0;
+
+  /// Pages transferred to disk (writes; used by EGO's external sort and
+  /// BFRJ's spilled intermediate lists).
+  uint64_t pages_written = 0;
+
+  /// Random seeks charged (non-adjacent access, read or write).
+  uint64_t seeks = 0;
+
+  /// Reads satisfied sequentially (no seek).
+  uint64_t sequential_reads = 0;
+
+  /// Buffer-pool hits (no disk access at all). Maintained by BufferPool.
+  uint64_t buffer_hits = 0;
+
+  IoStats Delta(const IoStats& start) const;
+  IoStats& operator+=(const IoStats& other);
+  void Reset() { *this = IoStats(); }
+
+  /// Total pages moved in either direction.
+  uint64_t TotalTransfers() const { return pages_read + pages_written; }
+
+  /// Modeled I/O time in seconds under `model`.
+  double ModeledSeconds(const DiskModel& model) const {
+    return seeks * model.seek_sec + TotalTransfers() * model.transfer_sec;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_IO_IO_STATS_H_

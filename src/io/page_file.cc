@@ -1,0 +1,6 @@
+#include "io/page_file.h"
+
+// PageFile and PageId are header-only aggregates; this translation unit
+// anchors the header in the build.
+
+namespace pmjoin {}  // namespace pmjoin

@@ -1,0 +1,52 @@
+#ifndef PMJOIN_IO_PAGE_FILE_H_
+#define PMJOIN_IO_PAGE_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace pmjoin {
+
+/// Identifies one page on the simulated disk: (file id, page index).
+struct PageId {
+  uint32_t file = 0;
+  uint32_t page = 0;
+
+  bool operator==(const PageId& other) const {
+    return file == other.file && page == other.page;
+  }
+  bool operator<(const PageId& other) const {
+    return file != other.file ? file < other.file : page < other.page;
+  }
+};
+
+struct PageIdHash {
+  size_t operator()(const PageId& p) const {
+    return std::hash<uint64_t>()((uint64_t(p.file) << 32) | p.page);
+  }
+};
+
+/// Metadata of one file laid out on the simulated disk.
+///
+/// The simulation keeps only *accounting* state here — page payloads live
+/// with the dataset objects that own them (the disk is simulated; the cost
+/// model, not the bytes, is what the experiments measure). Each file
+/// occupies a disjoint physical region; pages within a file are contiguous,
+/// so page p of a file is physically adjacent to page p+1.
+struct PageFile {
+  uint32_t id = 0;
+  std::string name;
+
+  /// Number of pages currently in the file.
+  uint32_t num_pages = 0;
+
+  /// Physical address of page 0 (global page offset on the disk).
+  uint64_t base_offset = 0;
+
+  /// Physical address of page `page`.
+  uint64_t PhysicalOffset(uint32_t page) const { return base_offset + page; }
+};
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_IO_PAGE_FILE_H_

@@ -1,0 +1,30 @@
+#ifndef PMJOIN_SEQ_EDIT_DISTANCE_H_
+#define PMJOIN_SEQ_EDIT_DISTANCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/op_counters.h"
+
+namespace pmjoin {
+
+/// Levenshtein edit distance (unit-cost insert/delete/substitute) between
+/// two symbol strings. O(|a|·|b|) time, O(min) space.
+///
+/// If `ops` is non-null, `edit_cells` is incremented per DP cell.
+size_t EditDistance(std::span<const uint8_t> a, std::span<const uint8_t> b,
+                    OpCounters* ops = nullptr);
+
+/// Thresholded edit distance: returns the exact distance if it is <= `k`,
+/// otherwise any value > `k` (Ukkonen's banded DP, O(k·min(|a|,|b|)) time).
+///
+/// This is the verification step of the subsequence join: candidates
+/// surviving the frequency-distance filter are confirmed here.
+size_t BandedEditDistance(std::span<const uint8_t> a,
+                          std::span<const uint8_t> b, size_t k,
+                          OpCounters* ops = nullptr);
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_SEQ_EDIT_DISTANCE_H_

@@ -1,0 +1,53 @@
+#include "seq/frequency_vector.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace pmjoin {
+
+std::vector<uint32_t> BuildFrequencyVector(std::span<const uint8_t> window,
+                                           uint32_t alphabet_size) {
+  std::vector<uint32_t> freq(alphabet_size, 0);
+  for (uint8_t c : window) {
+    assert(c < alphabet_size);
+    ++freq[c];
+  }
+  return freq;
+}
+
+uint32_t FrequencyDistance(std::span<const uint32_t> u,
+                           std::span<const uint32_t> v) {
+  assert(u.size() == v.size());
+  uint64_t l1 = 0;
+  for (size_t i = 0; i < u.size(); ++i) {
+    l1 += u[i] > v[i] ? u[i] - v[i] : v[i] - u[i];
+  }
+  return static_cast<uint32_t>((l1 + 1) / 2);
+}
+
+FreqPairTracker::FreqPairTracker(std::span<const uint8_t> x_window,
+                                 std::span<const uint8_t> y_window,
+                                 uint32_t alphabet_size)
+    : diff_(alphabet_size, 0) {
+  assert(x_window.size() == y_window.size());
+  for (uint8_t c : x_window) ++diff_[c];
+  for (uint8_t c : y_window) --diff_[c];
+  for (int32_t d : diff_) l1_ += static_cast<uint32_t>(std::abs(d));
+}
+
+void FreqPairTracker::Apply(uint8_t symbol, int32_t delta) {
+  int32_t& d = diff_[symbol];
+  l1_ -= static_cast<uint32_t>(std::abs(d));
+  d += delta;
+  l1_ += static_cast<uint32_t>(std::abs(d));
+}
+
+void FreqPairTracker::Slide(uint8_t x_out, uint8_t x_in, uint8_t y_out,
+                            uint8_t y_in) {
+  Apply(x_out, -1);
+  Apply(x_in, +1);
+  Apply(y_out, +1);
+  Apply(y_in, -1);
+}
+
+}  // namespace pmjoin

@@ -1,0 +1,63 @@
+#ifndef PMJOIN_SEQ_FREQUENCY_VECTOR_H_
+#define PMJOIN_SEQ_FREQUENCY_VECTOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pmjoin {
+
+/// Letter-frequency vector of a string window (MRS-index style, Table 1:
+/// "String data — MRS-index — edit distance — frequency distance").
+///
+/// For two windows of *equal* length, every unit-cost edit operation changes
+/// the frequency vector's L1 norm by at most 2 (a substitution moves one
+/// count down and another up; an insert/delete paired with the length
+/// constraint behaves the same in aggregate), therefore
+///
+///     EditDistance(x, y) >= L1(freq(x), freq(y)) / 2 = FrequencyDistance.
+///
+/// This is the lower-bounding distance predictor used for string pages.
+/// `tests/seq/frequency_vector_test.cc` property-tests the bound against
+/// the exact DP edit distance.
+std::vector<uint32_t> BuildFrequencyVector(std::span<const uint8_t> window,
+                                           uint32_t alphabet_size);
+
+/// Frequency distance = ceil(L1(u, v) / 2); a lower bound on the edit
+/// distance between the originating equal-length windows.
+uint32_t FrequencyDistance(std::span<const uint32_t> u,
+                           std::span<const uint32_t> v);
+
+/// Incrementally maintains L1(freq(x-window), freq(y-window)) while the two
+/// windows slide in lock-step (the inner loop of the string page-pair join:
+/// one diagonal of the window-pair grid).
+///
+/// Each `Slide` is O(1) in the alphabet size (only 2 counts change per
+/// side).
+class FreqPairTracker {
+ public:
+  /// Initializes with the two starting windows (equal length).
+  FreqPairTracker(std::span<const uint8_t> x_window,
+                  std::span<const uint8_t> y_window, uint32_t alphabet_size);
+
+  /// Slides both windows one symbol to the right: `x_out`/`y_out` leave the
+  /// windows, `x_in`/`y_in` enter.
+  void Slide(uint8_t x_out, uint8_t x_in, uint8_t y_out, uint8_t y_in);
+
+  /// Current L1 distance between the two frequency vectors.
+  uint32_t L1() const { return l1_; }
+
+  /// Current frequency distance (the edit-distance lower bound).
+  uint32_t FrequencyDist() const { return (l1_ + 1) / 2; }
+
+ private:
+  /// diff_[c] = count_x(c) - count_y(c).
+  void Apply(uint8_t symbol, int32_t delta);
+
+  std::vector<int32_t> diff_;
+  uint32_t l1_ = 0;
+};
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_SEQ_FREQUENCY_VECTOR_H_

@@ -1,0 +1,42 @@
+#include "seq/paa.h"
+
+#include <cassert>
+
+namespace pmjoin {
+
+void PaaTransform(std::span<const float> window, size_t f,
+                  std::span<float> out) {
+  assert(f > 0);
+  assert(out.size() == f);
+  assert(window.size() % f == 0 && "window length must be a multiple of f");
+  const size_t seg = window.size() / f;
+  for (size_t k = 0; k < f; ++k) {
+    double sum = 0.0;
+    for (size_t i = 0; i < seg; ++i) sum += window[k * seg + i];
+    out[k] = static_cast<float>(sum / seg);
+  }
+}
+
+std::vector<float> Paa(std::span<const float> window, size_t f) {
+  std::vector<float> out(f);
+  PaaTransform(window, f, out);
+  return out;
+}
+
+SlidingL2Tracker::SlidingL2Tracker(std::span<const float> x_window,
+                                   std::span<const float> y_window) {
+  assert(x_window.size() == y_window.size());
+  for (size_t i = 0; i < x_window.size(); ++i) {
+    const double d = double(x_window[i]) - y_window[i];
+    sq_ += d * d;
+  }
+}
+
+void SlidingL2Tracker::Slide(float x_out, float x_in, float y_out,
+                             float y_in) {
+  const double d_out = double(x_out) - y_out;
+  const double d_in = double(x_in) - y_in;
+  sq_ += d_in * d_in - d_out * d_out;
+}
+
+}  // namespace pmjoin

@@ -1,0 +1,59 @@
+#ifndef PMJOIN_SEQ_PAA_H_
+#define PMJOIN_SEQ_PAA_H_
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pmjoin {
+
+/// Piecewise Aggregate Approximation (the MR-index-style feature transform
+/// for time-series windows, Table 1: "Time series data — MR-index — any
+/// vector norm — same").
+///
+/// A window of length L is reduced to `f` segment means (L must be a
+/// multiple of f). The transform satisfies the contraction property
+///
+///     ||x - y||_2  >=  sqrt(L / f) * ||PAA(x) - PAA(y)||_2,
+///
+/// so MBRs over PAA features, with MINDIST scaled by sqrt(L/f), are a valid
+/// lower-bounding distance predictor for page pairs of subsequence windows.
+/// `tests/seq/paa_test.cc` property-tests the bound.
+///
+/// Writes the `f` segment means into `out` (out.size() == f).
+void PaaTransform(std::span<const float> window, size_t f,
+                  std::span<float> out);
+
+/// Convenience overload returning a fresh vector.
+std::vector<float> Paa(std::span<const float> window, size_t f);
+
+/// The PAA contraction factor sqrt(L / f): multiply a feature-space L2
+/// distance by this to get a valid lower bound in raw space.
+inline double PaaScale(size_t window_len, size_t f) {
+  return std::sqrt(static_cast<double>(window_len) / static_cast<double>(f));
+}
+
+/// Incrementally maintains the squared L2 distance between two equal-length
+/// sliding windows (the inner loop of the time-series page-pair join: one
+/// diagonal of the window-pair grid). Each `Slide` is O(1).
+class SlidingL2Tracker {
+ public:
+  /// Initializes with the two starting windows (equal length L).
+  SlidingL2Tracker(std::span<const float> x_window,
+                   std::span<const float> y_window);
+
+  /// Slides both windows one step right: (x_out, y_out) leave,
+  /// (x_in, y_in) enter.
+  void Slide(float x_out, float x_in, float y_out, float y_in);
+
+  /// Current squared L2 distance between the windows.
+  double SquaredDistance() const { return sq_ < 0 ? 0.0 : sq_; }
+
+ private:
+  double sq_ = 0.0;
+};
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_SEQ_PAA_H_

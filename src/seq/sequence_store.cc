@@ -1,0 +1,214 @@
+#include "seq/sequence_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "seq/frequency_vector.h"
+#include "seq/paa.h"
+
+namespace pmjoin {
+
+namespace {
+
+/// Builds the coarse level of a page's summaries as unions of consecutive
+/// fine sub-boxes.
+void BuildCoarseLevel(const SequenceLayout& layout, uint32_t page,
+                      const std::vector<Mbr>& sub_mbrs,
+                      uint32_t page_sub_offset, size_t dims,
+                      std::vector<Mbr>* coarse_mbrs,
+                      std::vector<uint32_t>* coarse_offsets) {
+  coarse_offsets->push_back(static_cast<uint32_t>(coarse_mbrs->size()));
+  for (uint32_t cb = 0; cb < layout.CoarseBoxCount(page); ++cb) {
+    uint32_t lo, hi;
+    layout.CoarseToFine(page, cb, &lo, &hi);
+    Mbr box(dims);
+    for (uint32_t b = lo; b < hi; ++b) {
+      box.Expand(sub_mbrs[page_sub_offset + b]);
+    }
+    coarse_mbrs->push_back(std::move(box));
+  }
+}
+
+}  // namespace
+
+Result<StringSequenceStore> StringSequenceStore::Build(
+    SimulatedDisk* disk, std::string_view name, std::vector<uint8_t> symbols,
+    uint32_t alphabet_size, uint32_t window_len, uint32_t page_size_bytes,
+    uint32_t sub_box_windows) {
+  if (sub_box_windows == 0)
+    return Status::InvalidArgument("StringSequenceStore: T must be > 0");
+  if (disk == nullptr)
+    return Status::InvalidArgument("StringSequenceStore: null disk");
+  if (window_len == 0)
+    return Status::InvalidArgument("StringSequenceStore: window_len == 0");
+  if (symbols.size() < window_len)
+    return Status::InvalidArgument(
+        "StringSequenceStore: sequence shorter than window");
+  if (page_size_bytes <= window_len - 1)
+    return Status::InvalidArgument(
+        "StringSequenceStore: page too small for window tail replication");
+  if (alphabet_size == 0 || alphabet_size > 256)
+    return Status::InvalidArgument("StringSequenceStore: bad alphabet size");
+  for (uint8_t c : symbols) {
+    if (c >= alphabet_size)
+      return Status::InvalidArgument(
+          "StringSequenceStore: symbol outside alphabet");
+  }
+
+  StringSequenceStore store;
+  store.alphabet_size_ = alphabet_size;
+  store.layout_.num_symbols = symbols.size();
+  store.layout_.window_len = window_len;
+  store.layout_.windows_per_page = page_size_bytes - (window_len - 1);
+  store.layout_.windows_per_sub_box = sub_box_windows;
+  store.layout_.windows_per_coarse_box = 4 * sub_box_windows;
+  store.symbols_ = std::move(symbols);
+
+  const SequenceLayout& layout = store.layout_;
+  const uint32_t num_pages = layout.NumPages();
+  store.page_mbrs_.reserve(num_pages);
+
+  // Sliding frequency vector over all windows; per-page MBR plus sub-box
+  // MBRs (multi-resolution summaries) over the windows' frequency vectors.
+  std::vector<uint32_t> freq = BuildFrequencyVector(
+      std::span<const uint8_t>(store.symbols_).subspan(0, window_len),
+      alphabet_size);
+  std::vector<float> point(alphabet_size);
+  uint64_t w = 0;
+  store.sub_offsets_.reserve(num_pages + 1);
+  for (uint32_t p = 0; p < num_pages; ++p) {
+    store.sub_offsets_.push_back(
+        static_cast<uint32_t>(store.sub_mbrs_.size()));
+    Mbr mbr(alphabet_size);
+    const uint64_t end = layout.FirstWindow(p) + layout.WindowCount(p);
+    Mbr sub(alphabet_size);
+    uint32_t in_sub = 0;
+    for (; w < end; ++w) {
+      for (uint32_t c = 0; c < alphabet_size; ++c)
+        point[c] = static_cast<float>(freq[c]);
+      mbr.Expand(point);
+      sub.Expand(point);
+      if (++in_sub == layout.windows_per_sub_box) {
+        store.sub_mbrs_.push_back(sub);
+        sub = Mbr(alphabet_size);
+        in_sub = 0;
+      }
+      if (w + 1 < layout.NumWindows()) {
+        --freq[store.symbols_[w]];
+        ++freq[store.symbols_[w + window_len]];
+      }
+    }
+    if (in_sub > 0) store.sub_mbrs_.push_back(sub);
+    store.page_mbrs_.push_back(std::move(mbr));
+    BuildCoarseLevel(layout, p, store.sub_mbrs_, store.sub_offsets_[p],
+                     alphabet_size, &store.coarse_mbrs_,
+                     &store.coarse_offsets_);
+  }
+  store.sub_offsets_.push_back(
+      static_cast<uint32_t>(store.sub_mbrs_.size()));
+  store.coarse_offsets_.push_back(
+      static_cast<uint32_t>(store.coarse_mbrs_.size()));
+
+  store.file_id_ = disk->CreateFile(name, num_pages);
+  return store;
+}
+
+double StringSequenceStore::PageLowerBound(uint32_t p,
+                                           const StringSequenceStore& other,
+                                           uint32_t q) const {
+  // MINDIST under L1 between frequency MBRs lower-bounds L1(freq_x, freq_y)
+  // for all window pairs; edit distance >= L1/2.
+  const double min_l1 =
+      page_mbrs_[p].MinDist(other.page_mbrs_[q], Norm::kL1);
+  return min_l1 / 2.0;
+}
+
+Result<TimeSeriesStore> TimeSeriesStore::Build(SimulatedDisk* disk,
+                                               std::string_view name,
+                                               std::vector<float> values,
+                                               uint32_t window_len,
+                                               uint32_t paa_dims,
+                                               uint32_t page_size_bytes,
+                                               uint32_t sub_box_windows) {
+  if (sub_box_windows == 0)
+    return Status::InvalidArgument("TimeSeriesStore: T must be > 0");
+  if (disk == nullptr)
+    return Status::InvalidArgument("TimeSeriesStore: null disk");
+  if (window_len == 0)
+    return Status::InvalidArgument("TimeSeriesStore: window_len == 0");
+  if (values.size() < window_len)
+    return Status::InvalidArgument(
+        "TimeSeriesStore: series shorter than window");
+  if (paa_dims == 0 || window_len % paa_dims != 0)
+    return Status::InvalidArgument(
+        "TimeSeriesStore: paa_dims must divide window_len");
+  const uint32_t capacity = page_size_bytes / sizeof(float);
+  if (capacity <= window_len - 1)
+    return Status::InvalidArgument(
+        "TimeSeriesStore: page too small for window tail replication");
+
+  TimeSeriesStore store;
+  store.paa_dims_ = paa_dims;
+  store.layout_.num_symbols = values.size();
+  store.layout_.window_len = window_len;
+  store.layout_.windows_per_page = capacity - (window_len - 1);
+  store.layout_.windows_per_sub_box = sub_box_windows;
+  store.layout_.windows_per_coarse_box = 4 * sub_box_windows;
+  store.values_ = std::move(values);
+
+  const SequenceLayout& layout = store.layout_;
+  const uint32_t num_pages = layout.NumPages();
+  store.page_mbrs_.reserve(num_pages);
+
+  // Prefix sums make each window's PAA O(f).
+  std::vector<double> prefix(store.values_.size() + 1, 0.0);
+  for (size_t i = 0; i < store.values_.size(); ++i)
+    prefix[i + 1] = prefix[i] + store.values_[i];
+  const uint32_t seg = window_len / paa_dims;
+
+  std::vector<float> feat(paa_dims);
+  store.sub_offsets_.reserve(num_pages + 1);
+  for (uint32_t p = 0; p < num_pages; ++p) {
+    store.sub_offsets_.push_back(
+        static_cast<uint32_t>(store.sub_mbrs_.size()));
+    Mbr mbr(paa_dims);
+    const uint64_t first = layout.FirstWindow(p);
+    const uint64_t end = first + layout.WindowCount(p);
+    Mbr sub(paa_dims);
+    uint32_t in_sub = 0;
+    for (uint64_t w = first; w < end; ++w) {
+      for (uint32_t k = 0; k < paa_dims; ++k) {
+        const uint64_t s = w + uint64_t(k) * seg;
+        feat[k] = static_cast<float>((prefix[s + seg] - prefix[s]) / seg);
+      }
+      mbr.Expand(feat);
+      sub.Expand(feat);
+      if (++in_sub == layout.windows_per_sub_box) {
+        store.sub_mbrs_.push_back(sub);
+        sub = Mbr(paa_dims);
+        in_sub = 0;
+      }
+    }
+    if (in_sub > 0) store.sub_mbrs_.push_back(sub);
+    store.page_mbrs_.push_back(std::move(mbr));
+    BuildCoarseLevel(layout, p, store.sub_mbrs_, store.sub_offsets_[p],
+                     paa_dims, &store.coarse_mbrs_, &store.coarse_offsets_);
+  }
+  store.sub_offsets_.push_back(
+      static_cast<uint32_t>(store.sub_mbrs_.size()));
+  store.coarse_offsets_.push_back(
+      static_cast<uint32_t>(store.coarse_mbrs_.size()));
+
+  store.file_id_ = disk->CreateFile(name, num_pages);
+  return store;
+}
+
+double TimeSeriesStore::PageLowerBound(uint32_t p,
+                                       const TimeSeriesStore& other,
+                                       uint32_t q) const {
+  const double feature_dist =
+      page_mbrs_[p].MinDist(other.page_mbrs_[q], Norm::kL2);
+  return PaaScale(layout_.window_len, paa_dims_) * feature_dist;
+}
+
+}  // namespace pmjoin

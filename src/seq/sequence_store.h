@@ -1,0 +1,235 @@
+#ifndef PMJOIN_SEQ_SEQUENCE_STORE_H_
+#define PMJOIN_SEQ_SEQUENCE_STORE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "geom/mbr.h"
+#include "io/simulated_disk.h"
+
+namespace pmjoin {
+
+/// Maps window-start positions of a sequence onto fixed-size disk pages.
+///
+/// A subsequence join (paper §3) asks for all pairs of length-L windows
+/// within distance ε. Windows overlap, so (paper §3) the sequence can be
+/// neither reordered on disk nor fully replicated. Instead, page p covers
+/// the C windows starting in block [p·C, (p+1)·C); the symbols of those
+/// windows span [p·C, p·C + C + L − 1). The trailing L−1 symbols are
+/// *replicated* from the next block into the page (a (L−1)/C overhead,
+/// a few percent) so that any page pair is self-contained for joining.
+/// This replication substitution is recorded in DESIGN.md.
+struct SequenceLayout {
+  uint64_t num_symbols = 0;
+  /// Window (subsequence) length L.
+  uint32_t window_len = 0;
+  /// Windows per page, C.
+  uint32_t windows_per_page = 0;
+  /// Windows per (fine) sub-box, T — the finest within-page summary
+  /// granularity of the MR-/MRS-index hierarchy. A page stores ceil(C/T)
+  /// sub-boxes; page-pair joins prune window *ranges* at sub-box
+  /// granularity before any per-window work.
+  uint32_t windows_per_sub_box = 64;
+
+  /// Windows per coarse box (the next resolution level up): must be a
+  /// multiple of windows_per_sub_box. Page-pair joins test coarse pairs
+  /// first and only descend to the fine grid inside surviving coarse
+  /// pairs.
+  uint32_t windows_per_coarse_box = 256;
+
+  /// Number of sub-boxes of page p.
+  uint32_t SubBoxCount(uint32_t page) const {
+    return (WindowCount(page) + windows_per_sub_box - 1) /
+           windows_per_sub_box;
+  }
+
+  /// Number of coarse boxes of page p.
+  uint32_t CoarseBoxCount(uint32_t page) const {
+    return (WindowCount(page) + windows_per_coarse_box - 1) /
+           windows_per_coarse_box;
+  }
+
+  /// Fine sub-boxes per coarse box.
+  uint32_t FinePerCoarse() const {
+    return windows_per_coarse_box / windows_per_sub_box;
+  }
+
+  /// Fine sub-box index range [lo, hi) of coarse box `cb` of page `page`.
+  void CoarseToFine(uint32_t page, uint32_t cb, uint32_t* lo,
+                    uint32_t* hi) const {
+    *lo = cb * FinePerCoarse();
+    *hi = std::min(SubBoxCount(page), *lo + FinePerCoarse());
+  }
+
+  /// Window-start position of sub-box `b` of page `page` and its width.
+  uint64_t SubBoxFirstWindow(uint32_t page, uint32_t b) const {
+    return FirstWindow(page) + uint64_t(b) * windows_per_sub_box;
+  }
+  uint32_t SubBoxWindowCount(uint32_t page, uint32_t b) const {
+    const uint32_t remaining =
+        WindowCount(page) - b * windows_per_sub_box;
+    return remaining < windows_per_sub_box ? remaining
+                                           : windows_per_sub_box;
+  }
+
+  /// Total number of length-L windows: num_symbols − L + 1.
+  uint64_t NumWindows() const {
+    return num_symbols >= window_len ? num_symbols - window_len + 1 : 0;
+  }
+
+  /// Number of pages.
+  uint32_t NumPages() const {
+    const uint64_t w = NumWindows();
+    return static_cast<uint32_t>((w + windows_per_page - 1) /
+                                 windows_per_page);
+  }
+
+  /// First window (global start position) covered by page p.
+  uint64_t FirstWindow(uint32_t page) const {
+    return uint64_t(page) * windows_per_page;
+  }
+
+  /// Number of windows covered by page p (short last page allowed).
+  uint32_t WindowCount(uint32_t page) const {
+    const uint64_t first = FirstWindow(page);
+    const uint64_t remaining = NumWindows() - first;
+    return static_cast<uint32_t>(
+        remaining < windows_per_page ? remaining : windows_per_page);
+  }
+
+  /// Page covering window-start `w`.
+  uint32_t PageOfWindow(uint64_t w) const {
+    return static_cast<uint32_t>(w / windows_per_page);
+  }
+};
+
+/// A string (e.g. genome) laid out for subsequence joins: symbols over a
+/// small alphabet, one frequency-vector MBR per page (MRS-index style).
+class StringSequenceStore {
+ public:
+  /// Builds the store, registers a `layout().NumPages()`-page file on
+  /// `disk`, and computes per-page frequency MBRs.
+  ///
+  /// `page_size_bytes` is the page capacity in symbols (1 byte each); the
+  /// net block size is C = page_size_bytes − (L − 1) to account for the
+  /// replicated tail. Fails if C would be <= 0 or the sequence is shorter
+  /// than L.
+  /// `sub_box_windows` sets the fine summary granularity T (the coarse
+  /// level is fixed at 4·T); the default matches the benches.
+  static Result<StringSequenceStore> Build(SimulatedDisk* disk,
+                                           std::string_view name,
+                                           std::vector<uint8_t> symbols,
+                                           uint32_t alphabet_size,
+                                           uint32_t window_len,
+                                           uint32_t page_size_bytes,
+                                           uint32_t sub_box_windows = 64);
+
+  const SequenceLayout& layout() const { return layout_; }
+  uint32_t file_id() const { return file_id_; }
+  uint32_t alphabet_size() const { return alphabet_size_; }
+
+  /// The whole symbol array (window w = symbols()[w .. w+L)).
+  std::span<const uint8_t> symbols() const { return symbols_; }
+
+  /// Frequency-vector MBR (dims = alphabet size) of page p's windows.
+  const Mbr& PageMbr(uint32_t page) const { return page_mbrs_[page]; }
+  const std::vector<Mbr>& page_mbrs() const { return page_mbrs_; }
+
+  /// Frequency MBR of sub-box `b` of page `page` (covers the windows
+  /// given by layout().SubBoxFirstWindow/SubBoxWindowCount).
+  const Mbr& SubBoxMbr(uint32_t page, uint32_t b) const {
+    return sub_mbrs_[sub_offsets_[page] + b];
+  }
+
+  /// Frequency MBR of coarse box `cb` of page `page` (union of its fine
+  /// sub-boxes).
+  const Mbr& CoarseBoxMbr(uint32_t page, uint32_t cb) const {
+    return coarse_mbrs_[coarse_offsets_[page] + cb];
+  }
+
+  /// Lower bound on the edit distance between any window of page `p` and
+  /// any window of page `q` of `other` (frequency-space MINDIST-L1 / 2).
+  /// This drives the prediction-matrix marking for string data.
+  double PageLowerBound(uint32_t p, const StringSequenceStore& other,
+                        uint32_t q) const;
+
+ private:
+  StringSequenceStore() = default;
+
+  SequenceLayout layout_;
+  uint32_t file_id_ = 0;
+  uint32_t alphabet_size_ = 0;
+  std::vector<uint8_t> symbols_;
+  std::vector<Mbr> page_mbrs_;
+  /// Sub-box MBRs, flat; page p's boxes start at sub_offsets_[p].
+  std::vector<Mbr> sub_mbrs_;
+  std::vector<uint32_t> sub_offsets_;
+  /// Coarse-box MBRs (unions of fine boxes), same layout scheme.
+  std::vector<Mbr> coarse_mbrs_;
+  std::vector<uint32_t> coarse_offsets_;
+};
+
+/// A time series laid out for subsequence joins: float values, one PAA
+/// feature MBR per page (MR-index style). Distances are L2 in raw space.
+class TimeSeriesStore {
+ public:
+  /// Builds the store. `paa_dims` (f) must divide `window_len` (L).
+  /// `page_size_bytes` is divided by sizeof(float) to get the symbol
+  /// capacity; the net block is C = capacity − (L − 1).
+  /// `sub_box_windows` sets the fine summary granularity T (the coarse
+  /// level is fixed at 4·T).
+  static Result<TimeSeriesStore> Build(SimulatedDisk* disk,
+                                       std::string_view name,
+                                       std::vector<float> values,
+                                       uint32_t window_len, uint32_t paa_dims,
+                                       uint32_t page_size_bytes,
+                                       uint32_t sub_box_windows = 64);
+
+  const SequenceLayout& layout() const { return layout_; }
+  uint32_t file_id() const { return file_id_; }
+  uint32_t paa_dims() const { return paa_dims_; }
+
+  std::span<const float> values() const { return values_; }
+
+  /// PAA feature MBR (dims = f) of page p's windows.
+  const Mbr& PageMbr(uint32_t page) const { return page_mbrs_[page]; }
+  const std::vector<Mbr>& page_mbrs() const { return page_mbrs_; }
+
+  /// PAA feature MBR of sub-box `b` of page `page`.
+  const Mbr& SubBoxMbr(uint32_t page, uint32_t b) const {
+    return sub_mbrs_[sub_offsets_[page] + b];
+  }
+
+  /// PAA feature MBR of coarse box `cb` of page `page`.
+  const Mbr& CoarseBoxMbr(uint32_t page, uint32_t cb) const {
+    return coarse_mbrs_[coarse_offsets_[page] + cb];
+  }
+
+  /// Lower bound on the L2 distance between any window of page `p` and any
+  /// window of page `q` of `other`: sqrt(L/f) · MINDIST of the PAA MBRs.
+  double PageLowerBound(uint32_t p, const TimeSeriesStore& other,
+                        uint32_t q) const;
+
+ private:
+  TimeSeriesStore() = default;
+
+  SequenceLayout layout_;
+  uint32_t file_id_ = 0;
+  uint32_t paa_dims_ = 0;
+  std::vector<float> values_;
+  std::vector<Mbr> page_mbrs_;
+  /// Sub-box MBRs, flat; page p's boxes start at sub_offsets_[p].
+  std::vector<Mbr> sub_mbrs_;
+  std::vector<uint32_t> sub_offsets_;
+  /// Coarse-box MBRs (unions of fine boxes), same layout scheme.
+  std::vector<Mbr> coarse_mbrs_;
+  std::vector<uint32_t> coarse_offsets_;
+};
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_SEQ_SEQUENCE_STORE_H_

@@ -1,0 +1,100 @@
+#include "seq/window_join.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "seq/edit_distance.h"
+#include "seq/frequency_vector.h"
+#include "seq/paa.h"
+
+namespace pmjoin {
+namespace {
+
+/// Iterates the diagonals d = y − x of the window-pair grid
+/// [xr] × [yr], invoking `body(x_start, y_start, steps)` for each diagonal,
+/// where the diagonal visits pairs (x_start + t, y_start + t) for
+/// t in [0, steps).
+template <typename Body>
+void ForEachDiagonal(WindowRange xr, WindowRange yr, Body&& body) {
+  const int64_t x0 = static_cast<int64_t>(xr.first);
+  const int64_t x1 = x0 + xr.count - 1;
+  const int64_t y0 = static_cast<int64_t>(yr.first);
+  const int64_t y1 = y0 + yr.count - 1;
+  for (int64_t d = y0 - x1; d <= y1 - x0; ++d) {
+    const int64_t xs = std::max(x0, y0 - d);
+    const int64_t xe = std::min(x1, y1 - d);
+    if (xs > xe) continue;
+    body(static_cast<uint64_t>(xs), static_cast<uint64_t>(xs + d),
+         static_cast<uint64_t>(xe - xs + 1));
+  }
+}
+
+bool Emit(uint64_t x, uint64_t y, const WindowJoinOptions& options) {
+  if (!options.self_join) return true;
+  return x + options.window_len <= y;
+}
+
+}  // namespace
+
+void JoinTimeSeriesWindows(std::span<const float> x_values,
+                           std::span<const float> y_values, WindowRange xr,
+                           WindowRange yr, const WindowJoinOptions& options,
+                           double eps, PairSink* sink, OpCounters* ops) {
+  assert(options.window_len > 0);
+  if (xr.count == 0 || yr.count == 0) return;
+  const uint32_t L = options.window_len;
+  const double eps2 = eps * eps;
+
+  ForEachDiagonal(xr, yr, [&](uint64_t xs, uint64_t ys, uint64_t steps) {
+    SlidingL2Tracker tracker(x_values.subspan(xs, L),
+                             y_values.subspan(ys, L));
+    if (ops != nullptr) ops->distance_terms += L;
+    for (uint64_t t = 0;; ++t) {
+      const uint64_t x = xs + t;
+      const uint64_t y = ys + t;
+      if (tracker.SquaredDistance() <= eps2 && Emit(x, y, options)) {
+        sink->OnPair(x, y);
+        if (ops != nullptr) ++ops->result_pairs;
+      }
+      if (t + 1 >= steps) break;
+      tracker.Slide(x_values[x], x_values[x + L], y_values[y],
+                    y_values[y + L]);
+      if (ops != nullptr) ++ops->filter_checks;
+    }
+  });
+}
+
+void JoinStringWindows(std::span<const uint8_t> x_symbols,
+                       std::span<const uint8_t> y_symbols, WindowRange xr,
+                       WindowRange yr, const WindowJoinOptions& options,
+                       uint32_t max_edits, uint32_t alphabet_size,
+                       PairSink* sink, OpCounters* ops) {
+  assert(options.window_len > 0);
+  if (xr.count == 0 || yr.count == 0) return;
+  const uint32_t L = options.window_len;
+
+  ForEachDiagonal(xr, yr, [&](uint64_t xs, uint64_t ys, uint64_t steps) {
+    FreqPairTracker tracker(x_symbols.subspan(xs, L),
+                            y_symbols.subspan(ys, L), alphabet_size);
+    if (ops != nullptr) ops->filter_checks += L;
+    for (uint64_t t = 0;; ++t) {
+      const uint64_t x = xs + t;
+      const uint64_t y = ys + t;
+      if (tracker.FrequencyDist() <= max_edits && Emit(x, y, options)) {
+        const size_t ed =
+            BandedEditDistance(x_symbols.subspan(x, L),
+                               y_symbols.subspan(y, L), max_edits, ops);
+        if (ed <= max_edits) {
+          sink->OnPair(x, y);
+          if (ops != nullptr) ++ops->result_pairs;
+        }
+      }
+      if (t + 1 >= steps) break;
+      tracker.Slide(x_symbols[x], x_symbols[x + L], y_symbols[y],
+                    y_symbols[y + L]);
+      if (ops != nullptr) ++ops->filter_checks;
+    }
+  });
+}
+
+}  // namespace pmjoin

@@ -1,0 +1,55 @@
+#ifndef PMJOIN_SEQ_WINDOW_JOIN_H_
+#define PMJOIN_SEQ_WINDOW_JOIN_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/op_counters.h"
+#include "common/pair_sink.h"
+
+namespace pmjoin {
+
+/// A contiguous range of window-start positions (one page's worth).
+struct WindowRange {
+  uint64_t first = 0;
+  uint32_t count = 0;
+};
+
+/// Options shared by the window-pair join kernels.
+struct WindowJoinOptions {
+  /// Window (subsequence) length L.
+  uint32_t window_len = 0;
+
+  /// Self-join handling: when true, only pairs with x + window_len <= y are
+  /// emitted — this both de-duplicates the symmetric pair and excludes
+  /// trivially overlapping windows of the same sequence.
+  bool self_join = false;
+};
+
+/// Joins all window pairs (x, y), x in `xr`, y in `yr`, of two time series,
+/// emitting pairs with L2 distance <= eps.
+///
+/// The kernel walks the window-pair grid along diagonals (fixed y − x), so
+/// each step is an O(1) incremental update of the squared distance instead
+/// of an O(L) recomputation (paper §3's motivation: overlapping windows
+/// make the naive join quadratic in L as well).
+void JoinTimeSeriesWindows(std::span<const float> x_values,
+                           std::span<const float> y_values, WindowRange xr,
+                           WindowRange yr, const WindowJoinOptions& options,
+                           double eps, PairSink* sink, OpCounters* ops);
+
+/// Joins all window pairs of two strings, emitting pairs with edit distance
+/// <= max_edits.
+///
+/// Per diagonal, an O(1)-per-step frequency-distance tracker prunes pairs
+/// (FD lower-bounds the edit distance); survivors are verified with the
+/// banded edit-distance DP.
+void JoinStringWindows(std::span<const uint8_t> x_symbols,
+                       std::span<const uint8_t> y_symbols, WindowRange xr,
+                       WindowRange yr, const WindowJoinOptions& options,
+                       uint32_t max_edits, uint32_t alphabet_size,
+                       PairSink* sink, OpCounters* ops);
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_SEQ_WINDOW_JOIN_H_

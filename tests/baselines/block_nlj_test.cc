@@ -1,0 +1,94 @@
+#include "baselines/block_nlj.h"
+
+#include <gtest/gtest.h>
+
+#include "join_test_util.h"
+
+namespace pmjoin {
+namespace {
+
+using testing_util::SmallVectorJoin;
+
+TEST(BlockNljTest, MatchesReferenceJoin) {
+  SmallVectorJoin fixture(250, 200, 3, 0.06);
+  BufferPool pool(&fixture.disk(), 8);
+  CollectingSink sink;
+  ASSERT_TRUE(BlockNlj(fixture.input(), &pool, &sink, nullptr, nullptr)
+                  .ok());
+  EXPECT_EQ(sink.Sorted(), fixture.Expected());
+  EXPECT_GT(sink.pairs().size(), 0u);
+}
+
+TEST(BlockNljTest, OracleDoesNotChangeResultsOrCounters) {
+  // The DESIGN.md "simulation shortcut": with the matrix as oracle, NLJ
+  // must produce exactly the same results and exactly the same CPU
+  // counters (ChargeScanned == real scan of a resultless pair).
+  SmallVectorJoin fixture(200, 200, 5, 0.04);
+
+  BufferPool pool_a(&fixture.disk(), 8);
+  CollectingSink sink_a;
+  OpCounters ops_a;
+  ASSERT_TRUE(
+      BlockNlj(fixture.input(), &pool_a, &sink_a, &ops_a, nullptr).ok());
+
+  BufferPool pool_b(&fixture.disk(), 8);
+  CollectingSink sink_b;
+  OpCounters ops_b;
+  ASSERT_TRUE(BlockNlj(fixture.input(), &pool_b, &sink_b, &ops_b,
+                       &fixture.matrix())
+                  .ok());
+
+  EXPECT_EQ(sink_a.Sorted(), sink_b.Sorted());
+  EXPECT_EQ(ops_a.distance_terms, ops_b.distance_terms);
+  EXPECT_EQ(ops_a.result_pairs, ops_b.result_pairs);
+}
+
+TEST(BlockNljTest, IoCountIndependentOfSelectivity) {
+  // NLJ reads the full cross product regardless of the predicate.
+  SmallVectorJoin tight(150, 150, 7, 0.001);
+  SmallVectorJoin loose(150, 150, 7, 0.5);
+  for (SmallVectorJoin* fixture : {&tight, &loose}) {
+    BufferPool pool(&fixture->disk(), 6);
+    CountingSink sink;
+    const IoStats before = fixture->disk().stats();
+    ASSERT_TRUE(BlockNlj(fixture->input(), &pool, &sink, nullptr,
+                         &fixture->matrix())
+                    .ok());
+    const IoStats delta = fixture->disk().stats().Delta(before);
+    // Blocks of B−2 = 4 R pages; S scanned once per block.
+    const uint32_t r_pages = fixture->input().r_pages;
+    const uint32_t s_pages = fixture->input().s_pages;
+    const uint32_t blocks = (r_pages + 3) / 4;
+    EXPECT_EQ(delta.pages_read,
+              uint64_t(r_pages) + uint64_t(blocks) * s_pages);
+  }
+}
+
+TEST(BlockNljTest, LargerBufferReadsFewerPages) {
+  SmallVectorJoin fixture(300, 300, 9, 0.05);
+  uint64_t previous = UINT64_MAX;
+  for (uint32_t buffer : {4, 8, 16, 32}) {
+    BufferPool pool(&fixture.disk(), buffer);
+    CountingSink sink;
+    const IoStats before = fixture.disk().stats();
+    ASSERT_TRUE(BlockNlj(fixture.input(), &pool, &sink, nullptr,
+                         &fixture.matrix())
+                    .ok());
+    const uint64_t reads = fixture.disk().stats().Delta(before).pages_read;
+    EXPECT_LE(reads, previous);
+    previous = reads;
+  }
+}
+
+TEST(BlockNljTest, TinyBufferWorks) {
+  SmallVectorJoin fixture(60, 60, 11, 0.1);
+  BufferPool pool(&fixture.disk(), 2);
+  CollectingSink sink;
+  ASSERT_TRUE(BlockNlj(fixture.input(), &pool, &sink, nullptr,
+                       &fixture.matrix())
+                  .ok());
+  EXPECT_EQ(sink.Sorted(), fixture.Expected());
+}
+
+}  // namespace
+}  // namespace pmjoin

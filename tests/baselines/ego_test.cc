@@ -1,0 +1,170 @@
+#include "baselines/ego.h"
+
+#include <gtest/gtest.h>
+
+#include "core/reference_join.h"
+#include "data/generators.h"
+#include "join_test_util.h"
+
+namespace pmjoin {
+namespace {
+
+using testing_util::SmallVectorJoin;
+
+TEST(EgoVectorTest, MatchesReferenceJoin) {
+  SmallVectorJoin fixture(250, 200, 3, 0.06);
+  BufferPool pool(&fixture.disk(), 16);
+  CollectingSink sink;
+  ASSERT_TRUE(EgoJoinVectors(fixture.r(), fixture.s(), false, fixture.eps(),
+                             fixture.norm(), &fixture.disk(), &pool, &sink,
+                             nullptr)
+                  .ok());
+  EXPECT_EQ(sink.Sorted(), fixture.Expected());
+  EXPECT_GT(sink.pairs().size(), 0u);
+}
+
+TEST(EgoVectorTest, SelfJoinMatchesReference) {
+  SimulatedDisk disk;
+  const VectorData data = GenRoadNetwork(200, 7);
+  VectorDataset::Options options;
+  options.page_size_bytes = 64;
+  auto ds = VectorDataset::Build(&disk, "r", data, options);
+  ASSERT_TRUE(ds.ok());
+
+  BufferPool pool(&disk, 16);
+  CollectingSink sink;
+  ASSERT_TRUE(EgoJoinVectors(*ds, *ds, true, 0.05, Norm::kL2, &disk, &pool,
+                             &sink, nullptr)
+                  .ok());
+  CollectingSink ref;
+  ReferenceVectorJoin(data, data, 0.05, Norm::kL2, true, &ref);
+  EXPECT_EQ(sink.Sorted(), ref.Sorted());
+  EXPECT_GT(sink.pairs().size(), 0u);
+}
+
+TEST(EgoVectorTest, L1AndLInfNorms) {
+  for (Norm norm : {Norm::kL1, Norm::kLInf}) {
+    SmallVectorJoin fixture(150, 150, 11, 0.05, 64, norm);
+    BufferPool pool(&fixture.disk(), 16);
+    CollectingSink sink;
+    ASSERT_TRUE(EgoJoinVectors(fixture.r(), fixture.s(), false,
+                               fixture.eps(), norm, &fixture.disk(), &pool,
+                               &sink, nullptr)
+                    .ok());
+    EXPECT_EQ(sink.Sorted(), fixture.Expected());
+  }
+}
+
+TEST(EgoVectorTest, ChargesSortIo) {
+  SmallVectorJoin fixture(300, 300, 13, 0.03);
+  BufferPool pool(&fixture.disk(), 8);
+  CountingSink sink;
+  const IoStats before = fixture.disk().stats();
+  ASSERT_TRUE(EgoJoinVectors(fixture.r(), fixture.s(), false, fixture.eps(),
+                             fixture.norm(), &fixture.disk(), &pool, &sink,
+                             nullptr)
+                  .ok());
+  const IoStats delta = fixture.disk().stats().Delta(before);
+  // External sorting writes at least one full copy of both datasets.
+  EXPECT_GT(delta.pages_written, 0u);
+  EXPECT_GT(delta.pages_read,
+            uint64_t(fixture.input().r_pages) + fixture.input().s_pages);
+}
+
+TEST(EgoTimeSeriesTest, MatchesReference) {
+  SimulatedDisk disk;
+  const std::vector<float> x = GenRandomWalk(400, 17);
+  const std::vector<float> y = GenRandomWalk(350, 18);
+  const uint32_t L = 16, f = 4;
+  auto xs = TimeSeriesStore::Build(&disk, "x", x, L, f, 60 * sizeof(float));
+  auto ys = TimeSeriesStore::Build(&disk, "y", y, L, f, 60 * sizeof(float));
+  ASSERT_TRUE(xs.ok());
+  ASSERT_TRUE(ys.ok());
+
+  const double eps = 2.0;
+  BufferPool pool(&disk, 16);
+  CollectingSink sink;
+  ASSERT_TRUE(EgoJoinTimeSeries(*xs, *ys, false, eps, &disk, &pool, &sink,
+                                nullptr)
+                  .ok());
+  CollectingSink ref;
+  ReferenceTimeSeriesJoin(x, y, L, eps, false, &ref);
+  EXPECT_EQ(sink.Sorted(), ref.Sorted());
+  EXPECT_GT(sink.pairs().size(), 0u);
+}
+
+TEST(EgoTimeSeriesTest, SelfJoinMatchesReference) {
+  SimulatedDisk disk;
+  const std::vector<float> x = GenRandomWalk(500, 19);
+  const uint32_t L = 16, f = 4;
+  auto xs = TimeSeriesStore::Build(&disk, "x", x, L, f, 60 * sizeof(float));
+  ASSERT_TRUE(xs.ok());
+  BufferPool pool(&disk, 16);
+  CollectingSink sink;
+  ASSERT_TRUE(
+      EgoJoinTimeSeries(*xs, *xs, true, 1.0, &disk, &pool, &sink, nullptr)
+          .ok());
+  CollectingSink ref;
+  ReferenceTimeSeriesJoin(x, x, L, 1.0, true, &ref);
+  EXPECT_EQ(sink.Sorted(), ref.Sorted());
+}
+
+TEST(EgoStringTest, MatchesReference) {
+  SimulatedDisk disk;
+  std::vector<uint8_t> a, b;
+  GenDnaPair(500, 400, 23, &a, &b, 0.5, 0.01);
+  // Plant a homologous chunk so the cross join is non-empty (tiny test
+  // sequences occupy single, different composition regimes).
+  for (size_t i = 0; i < 60; ++i) b[100 + i] = a[200 + i];
+  const uint32_t L = 12, k = 2;
+  auto as = StringSequenceStore::Build(&disk, "a", a, 4, L, 64);
+  auto bs = StringSequenceStore::Build(&disk, "b", b, 4, L, 64);
+  ASSERT_TRUE(as.ok());
+  ASSERT_TRUE(bs.ok());
+
+  BufferPool pool(&disk, 16);
+  CollectingSink sink;
+  ASSERT_TRUE(
+      EgoJoinStrings(*as, *bs, false, k, &disk, &pool, &sink, nullptr)
+          .ok());
+  CollectingSink ref;
+  ReferenceStringJoin(a, b, L, k, false, &ref);
+  EXPECT_EQ(sink.Sorted(), ref.Sorted());
+  EXPECT_GT(sink.pairs().size(), 0u);
+}
+
+TEST(EgoStringTest, SelfJoinMatchesReference) {
+  SimulatedDisk disk;
+  const std::vector<uint8_t> a = GenDnaSequence(600, 29, 0.5, 0.01);
+  const uint32_t L = 12, k = 1;
+  auto as = StringSequenceStore::Build(&disk, "a", a, 4, L, 64);
+  ASSERT_TRUE(as.ok());
+  BufferPool pool(&disk, 16);
+  CollectingSink sink;
+  ASSERT_TRUE(
+      EgoJoinStrings(*as, *as, true, k, &disk, &pool, &sink, nullptr).ok());
+  CollectingSink ref;
+  ReferenceStringJoin(a, a, L, k, true, &ref);
+  EXPECT_EQ(sink.Sorted(), ref.Sorted());
+}
+
+TEST(EgoSequenceTest, MaterializationCostsExceedVectorEquivalent) {
+  // §9.2's observation: EGO on sequences pays for materialized feature
+  // files plus random verification reads.
+  SimulatedDisk disk;
+  const std::vector<uint8_t> a = GenDnaSequence(2000, 31, 0.5, 0.01);
+  auto as = StringSequenceStore::Build(&disk, "a", a, 4, 12, 64);
+  ASSERT_TRUE(as.ok());
+  BufferPool pool(&disk, 8);
+  CountingSink sink;
+  const IoStats before = disk.stats();
+  ASSERT_TRUE(
+      EgoJoinStrings(*as, *as, true, 1, &disk, &pool, &sink, nullptr).ok());
+  const IoStats delta = disk.stats().Delta(before);
+  // Far more I/O than one scan of the store.
+  EXPECT_GT(delta.pages_read + delta.pages_written,
+            4u * as->layout().NumPages());
+}
+
+}  // namespace
+}  // namespace pmjoin

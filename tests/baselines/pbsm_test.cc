@@ -1,0 +1,120 @@
+#include "baselines/pbsm.h"
+
+#include <gtest/gtest.h>
+
+#include "core/reference_join.h"
+#include "data/generators.h"
+#include "join_test_util.h"
+
+namespace pmjoin {
+namespace {
+
+using testing_util::SmallVectorJoin;
+
+TEST(PbsmTest, MatchesReferenceJoin) {
+  SmallVectorJoin fixture(250, 200, 3, 0.06);
+  BufferPool pool(&fixture.disk(), 16);
+  CollectingSink sink;
+  ASSERT_TRUE(PbsmJoinVectors(fixture.r(), fixture.s(), false,
+                              fixture.eps(), fixture.norm(),
+                              &fixture.disk(), &pool, &sink, nullptr)
+                  .ok());
+  EXPECT_EQ(sink.Sorted(), fixture.Expected());
+  EXPECT_GT(sink.pairs().size(), 0u);
+}
+
+TEST(PbsmTest, NoDuplicateEmissions) {
+  // Replication must be compensated exactly once per result pair.
+  SmallVectorJoin fixture(300, 300, 5, 0.08);
+  BufferPool pool(&fixture.disk(), 8);
+  CollectingSink sink;
+  ASSERT_TRUE(PbsmJoinVectors(fixture.r(), fixture.s(), false,
+                              fixture.eps(), fixture.norm(),
+                              &fixture.disk(), &pool, &sink, nullptr)
+                  .ok());
+  EXPECT_EQ(sink.pairs().size(), sink.Sorted().size());
+}
+
+TEST(PbsmTest, SelfJoinMatchesReference) {
+  SimulatedDisk disk;
+  const VectorData data = GenRoadNetwork(250, 7);
+  VectorDataset::Options options;
+  options.page_size_bytes = 64;
+  auto ds = VectorDataset::Build(&disk, "r", data, options);
+  ASSERT_TRUE(ds.ok());
+  BufferPool pool(&disk, 16);
+  CollectingSink sink;
+  ASSERT_TRUE(PbsmJoinVectors(*ds, *ds, true, 0.05, Norm::kL2, &disk,
+                              &pool, &sink, nullptr)
+                  .ok());
+  CollectingSink ref;
+  ReferenceVectorJoin(data, data, 0.05, Norm::kL2, true, &ref);
+  EXPECT_EQ(sink.Sorted(), ref.Sorted());
+  EXPECT_GT(sink.pairs().size(), 0u);
+}
+
+TEST(PbsmTest, OtherNorms) {
+  for (Norm norm : {Norm::kL1, Norm::kLInf}) {
+    SmallVectorJoin fixture(150, 150, 11, 0.05, 64, norm);
+    BufferPool pool(&fixture.disk(), 16);
+    CollectingSink sink;
+    ASSERT_TRUE(PbsmJoinVectors(fixture.r(), fixture.s(), false,
+                                fixture.eps(), norm, &fixture.disk(),
+                                &pool, &sink, nullptr)
+                    .ok());
+    EXPECT_EQ(sink.Sorted(), fixture.Expected());
+  }
+}
+
+TEST(PbsmTest, ChargesPartitionIo) {
+  SmallVectorJoin fixture(300, 250, 13, 0.05);
+  BufferPool pool(&fixture.disk(), 8);
+  CountingSink sink;
+  const IoStats before = fixture.disk().stats();
+  ASSERT_TRUE(PbsmJoinVectors(fixture.r(), fixture.s(), false,
+                              fixture.eps(), fixture.norm(),
+                              &fixture.disk(), &pool, &sink, nullptr)
+                  .ok());
+  const IoStats delta = fixture.disk().stats().Delta(before);
+  EXPECT_GT(delta.pages_written, 0u);  // Partition files.
+  // Both inputs scanned plus partitions read back.
+  EXPECT_GT(delta.pages_read,
+            uint64_t(fixture.input().r_pages) + fixture.input().s_pages);
+}
+
+TEST(PbsmTest, ExplicitPartitionCounts) {
+  SmallVectorJoin fixture(200, 200, 17, 0.06);
+  const auto expected = fixture.Expected();
+  for (uint32_t partitions : {1u, 3u, 9u, 50u}) {
+    BufferPool pool(&fixture.disk(), 16);
+    CollectingSink sink;
+    PbsmOptions options;
+    options.partitions = partitions;
+    ASSERT_TRUE(PbsmJoinVectors(fixture.r(), fixture.s(), false,
+                                fixture.eps(), fixture.norm(),
+                                &fixture.disk(), &pool, &sink, nullptr,
+                                options)
+                    .ok());
+    EXPECT_EQ(sink.Sorted(), expected) << "partitions=" << partitions;
+  }
+}
+
+TEST(PbsmTest, GridResolutions) {
+  SmallVectorJoin fixture(200, 200, 19, 0.07);
+  const auto expected = fixture.Expected();
+  for (uint32_t grid : {1u, 4u, 16u, 64u}) {
+    BufferPool pool(&fixture.disk(), 16);
+    CollectingSink sink;
+    PbsmOptions options;
+    options.grid = grid;
+    ASSERT_TRUE(PbsmJoinVectors(fixture.r(), fixture.s(), false,
+                                fixture.eps(), fixture.norm(),
+                                &fixture.disk(), &pool, &sink, nullptr,
+                                options)
+                    .ok());
+    EXPECT_EQ(sink.Sorted(), expected) << "grid=" << grid;
+  }
+}
+
+}  // namespace
+}  // namespace pmjoin

@@ -1,0 +1,98 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace pmjoin {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCodesMatchPredicates) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::BufferFull("x").IsBufferFull());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, ErrorsAreNotOk) {
+  EXPECT_FALSE(Status::IoError("disk on fire").ok());
+  EXPECT_FALSE(Status::Internal("").ok());
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  EXPECT_EQ(Status::IoError("page 12 out of bounds").ToString(),
+            "IoError: page 12 out of bounds");
+  EXPECT_EQ(Status::NotFound("").ToString(), "NotFound");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status a = Status::Corruption("bad node");
+  Status b = a;
+  EXPECT_TRUE(b.IsCorruption());
+  EXPECT_EQ(b.message(), "bad node");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = []() { return Status::OutOfRange("boom"); };
+  auto outer = [&inner]() -> Status {
+    PMJOIN_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsOutOfRange());
+}
+
+TEST(StatusTest, ReturnIfErrorPassesThroughOk) {
+  auto inner = []() { return Status::OK(); };
+  auto outer = [&inner]() -> Status {
+    PMJOIN_RETURN_IF_ERROR(inner());
+    return Status::NotFound("reached end");
+  };
+  EXPECT_TRUE(outer().IsNotFound());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ResultTest, MoveOnlyType) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(**r, 7);
+  std::unique_ptr<int> p = std::move(r).value();
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+}  // namespace
+}  // namespace pmjoin

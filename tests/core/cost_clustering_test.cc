@@ -1,0 +1,140 @@
+#include "core/cost_clustering.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pmjoin {
+namespace {
+
+PredictionMatrix RandomMatrix(Rng* rng, uint32_t rows, uint32_t cols,
+                              double density) {
+  PredictionMatrix m(rows, cols);
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      if (rng->Bernoulli(density)) m.Mark(r, c);
+    }
+  }
+  m.Finalize();
+  return m;
+}
+
+TEST(CostClusteringTest, EmptyMatrix) {
+  PredictionMatrix m(5, 5);
+  m.Finalize();
+  Rng rng(1);
+  EXPECT_TRUE(CostClustering(m, 4, DiskModel(), 10, &rng, nullptr).empty());
+}
+
+TEST(CostClusteringTest, SingleEntry) {
+  PredictionMatrix m(8, 8);
+  m.Mark(3, 5);
+  m.Finalize();
+  Rng rng(2);
+  const auto clusters = CostClustering(m, 4, DiskModel(), 10, &rng, nullptr);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].entries.size(), 1u);
+  EXPECT_TRUE(ValidateClustering(m, clusters, 4).ok());
+}
+
+struct CcCase {
+  uint32_t rows, cols, buffer, hist;
+  double density;
+  uint64_t seed;
+};
+
+class CostClusteringPropertyTest : public ::testing::TestWithParam<CcCase> {
+};
+
+TEST_P(CostClusteringPropertyTest, ValidPartitionWithinBuffer) {
+  const CcCase& c = GetParam();
+  Rng data_rng(c.seed);
+  const PredictionMatrix m =
+      RandomMatrix(&data_rng, c.rows, c.cols, c.density);
+  Rng rng(c.seed + 100);
+  const auto clusters =
+      CostClustering(m, c.buffer, DiskModel(), c.hist, &rng, nullptr);
+  EXPECT_TRUE(ValidateClustering(m, clusters, c.buffer).ok())
+      << ValidateClustering(m, clusters, c.buffer).ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CostClusteringPropertyTest,
+    ::testing::Values(CcCase{20, 20, 8, 10, 0.3, 1},
+                      CcCase{20, 20, 8, 10, 0.05, 2},
+                      CcCase{40, 40, 10, 100, 0.4, 3},
+                      CcCase{60, 20, 6, 8, 0.6, 4},
+                      CcCase{10, 90, 12, 16, 0.2, 5},
+                      CcCase{64, 64, 2, 4, 0.2, 6},
+                      CcCase{1, 40, 6, 10, 0.7, 7},
+                      CcCase{40, 1, 6, 10, 0.7, 8}));
+
+TEST(CostClusteringTest, DeterministicForFixedSeed) {
+  Rng data_rng(11);
+  const PredictionMatrix m = RandomMatrix(&data_rng, 30, 30, 0.3);
+  Rng r1(99), r2(99);
+  const auto a = CostClustering(m, 8, DiskModel(), 10, &r1, nullptr);
+  const auto b = CostClustering(m, 8, DiskModel(), 10, &r2, nullptr);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].entries, b[i].entries);
+  }
+}
+
+TEST(CostClusteringTest, PrefersContiguousGrowth) {
+  // A dense block plus one far-away entry: CC should fill a cluster from
+  // the block (cheap contiguous pages) before touching the outlier.
+  PredictionMatrix m(100, 100);
+  for (uint32_t r = 10; r < 14; ++r) {
+    for (uint32_t c = 10; c < 14; ++c) m.Mark(r, c);
+  }
+  m.Mark(90, 90);
+  m.Finalize();
+  Rng rng(3);
+  const auto clusters = CostClustering(m, 8, DiskModel(), 10, &rng, nullptr);
+  ASSERT_TRUE(ValidateClustering(m, clusters, 8).ok());
+  // The outlier must be in its own cluster.
+  bool outlier_isolated = false;
+  for (const Cluster& cluster : clusters) {
+    for (const MatrixEntry& e : cluster.entries) {
+      if (e.row == 90 && e.col == 90) {
+        outlier_isolated = cluster.entries.size() == 1;
+      }
+    }
+  }
+  EXPECT_TRUE(outlier_isolated);
+}
+
+TEST(CostClusteringTest, CountsClusterOps) {
+  Rng data_rng(13);
+  const PredictionMatrix m = RandomMatrix(&data_rng, 30, 30, 0.2);
+  Rng rng(14);
+  OpCounters ops;
+  CostClustering(m, 8, DiskModel(), 10, &rng, &ops);
+  EXPECT_GE(ops.cluster_ops, m.MarkedCount());
+}
+
+TEST(CostClusteringTest, LowIoCostOnBandedMatrix) {
+  // Band-diagonal matrix (typical of sequence self joins): both SC and CC
+  // are valid, but CC's page sets should be contiguous (few seek runs).
+  PredictionMatrix m(60, 60);
+  for (uint32_t i = 0; i < 60; ++i) {
+    for (uint32_t d = 0; d < 3 && i + d < 60; ++d) m.Mark(i, i + d);
+  }
+  m.Finalize();
+  Rng rng(17);
+  const auto clusters =
+      CostClustering(m, 12, DiskModel(), 10, &rng, nullptr);
+  ASSERT_TRUE(ValidateClustering(m, clusters, 12).ok());
+  // Contiguity: each cluster's rows should form few runs.
+  for (const Cluster& cluster : clusters) {
+    uint32_t runs = cluster.rows.empty() ? 0 : 1;
+    for (size_t i = 1; i < cluster.rows.size(); ++i) {
+      if (cluster.rows[i] != cluster.rows[i - 1] + 1) ++runs;
+    }
+    EXPECT_LE(runs, 3u);
+  }
+}
+
+}  // namespace
+}  // namespace pmjoin

@@ -1,0 +1,249 @@
+#include "core/executor.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/scheduler.h"
+#include "core/square_clustering.h"
+#include "join_test_util.h"
+
+namespace pmjoin {
+namespace {
+
+using testing_util::SmallVectorJoin;
+
+TEST(ExecutorTest, ClusteredJoinMatchesReference) {
+  SmallVectorJoin fixture(300, 250, 3, 0.05);
+  const uint32_t buffer = 10;
+  const auto clusters =
+      SquareClustering(fixture.matrix(), buffer, nullptr);
+  ASSERT_TRUE(ValidateClustering(fixture.matrix(), clusters, buffer).ok());
+  const auto order = ScheduleClusters(clusters, fixture.input(), nullptr);
+
+  BufferPool pool(&fixture.disk(), buffer);
+  CollectingSink sink;
+  ASSERT_TRUE(ExecuteClusteredJoin(fixture.input(), clusters, order, &pool,
+                                   &sink, nullptr)
+                  .ok());
+  EXPECT_EQ(sink.Sorted(), fixture.Expected());
+}
+
+TEST(ExecutorTest, AnyOrderIsCorrect) {
+  SmallVectorJoin fixture(200, 200, 5, 0.06);
+  const uint32_t buffer = 8;
+  const auto clusters =
+      SquareClustering(fixture.matrix(), buffer, nullptr);
+  const auto expected = fixture.Expected();
+
+  // Scheduled, index, reversed, shuffled — all must give the same result.
+  std::vector<std::vector<uint32_t>> orders;
+  orders.push_back(ScheduleClusters(clusters, fixture.input(), nullptr));
+  std::vector<uint32_t> index_order(clusters.size());
+  std::iota(index_order.begin(), index_order.end(), 0u);
+  orders.push_back(index_order);
+  std::vector<uint32_t> reversed = index_order;
+  std::reverse(reversed.begin(), reversed.end());
+  orders.push_back(reversed);
+  std::vector<uint32_t> shuffled = index_order;
+  Rng rng(7);
+  rng.Shuffle(shuffled);
+  orders.push_back(shuffled);
+
+  for (const auto& order : orders) {
+    BufferPool pool(&fixture.disk(), buffer);
+    CollectingSink sink;
+    ASSERT_TRUE(ExecuteClusteredJoin(fixture.input(), clusters, order,
+                                     &pool, &sink, nullptr)
+                    .ok());
+    EXPECT_EQ(sink.Sorted(), expected);
+  }
+}
+
+TEST(ExecutorTest, PerClusterIoRespectsLemma2) {
+  // Lemma 2: a cluster with r rows and c cols needs at most r + c reads.
+  SmallVectorJoin fixture(300, 300, 9, 0.04);
+  const uint32_t buffer = 12;
+  const auto clusters =
+      SquareClustering(fixture.matrix(), buffer, nullptr);
+
+  for (const Cluster& cluster : clusters) {
+    SimulatedDisk fresh_disk;
+    fresh_disk.CreateFile("r", fixture.input().r_pages);
+    fresh_disk.CreateFile("s", fixture.input().s_pages);
+    JoinInput input = fixture.input();
+    input.r_file = 0;
+    input.s_file = 1;
+    input.joiner = fixture.input().joiner;
+    BufferPool pool(&fresh_disk, buffer);
+    CountingSink sink;
+    const std::vector<Cluster> single{cluster};
+    const std::vector<uint32_t> order{0};
+    ASSERT_TRUE(ExecuteClusteredJoin(input, single, order, &pool, &sink,
+                                     nullptr)
+                    .ok());
+    EXPECT_LE(fresh_disk.stats().pages_read, cluster.PageCount());
+  }
+}
+
+TEST(ExecutorTest, ScheduledOrderReusesSharedPages) {
+  // Optimization 3 (§9.1): processing clusters in the sharing-graph order
+  // must not read more pages than a pessimal (reversed-schedule) order.
+  SmallVectorJoin fixture(400, 400, 11, 0.05);
+  const uint32_t buffer = 10;
+  const auto clusters =
+      SquareClustering(fixture.matrix(), buffer, nullptr);
+  const auto order = ScheduleClusters(clusters, fixture.input(), nullptr);
+
+  const IoStats before_sched = fixture.disk().stats();
+  {
+    BufferPool pool(&fixture.disk(), buffer);
+    CountingSink sink;
+    ASSERT_TRUE(ExecuteClusteredJoin(fixture.input(), clusters, order,
+                                     &pool, &sink, nullptr)
+                    .ok());
+  }
+  const uint64_t scheduled_reads =
+      fixture.disk().stats().Delta(before_sched).pages_read;
+
+  // Worst-case-ish order: shuffled.
+  std::vector<uint32_t> shuffled = order;
+  Rng rng(13);
+  rng.Shuffle(shuffled);
+  const IoStats before_rand = fixture.disk().stats();
+  {
+    BufferPool pool(&fixture.disk(), buffer);
+    CountingSink sink;
+    ASSERT_TRUE(ExecuteClusteredJoin(fixture.input(), clusters, shuffled,
+                                     &pool, &sink, nullptr)
+                    .ok());
+  }
+  const uint64_t random_reads =
+      fixture.disk().stats().Delta(before_rand).pages_read;
+  EXPECT_LE(scheduled_reads, random_reads);
+}
+
+TEST(ExecutorTest, SharedPageAcrossConsecutiveClustersNotReRead) {
+  // Two clusters sharing a row page; back-to-back execution must read the
+  // shared page once.
+  SimulatedDisk disk;
+  disk.CreateFile("r", 10);
+  disk.CreateFile("s", 10);
+
+  class NullJoiner : public PagePairJoiner {
+   public:
+    void JoinPages(uint32_t, uint32_t, PairSink*, OpCounters*) override {}
+    void ChargeScanned(uint32_t, uint32_t, OpCounters*) const override {}
+  };
+  NullJoiner joiner;
+  JoinInput input;
+  input.r_file = 0;
+  input.s_file = 1;
+  input.r_pages = 10;
+  input.s_pages = 10;
+  input.joiner = &joiner;
+
+  Cluster a;
+  a.rows = {0};
+  a.cols = {0, 1};
+  a.entries = {MatrixEntry{0, 0}, MatrixEntry{0, 1}};
+  Cluster b;
+  b.rows = {0};
+  b.cols = {2};
+  b.entries = {MatrixEntry{0, 2}};
+
+  BufferPool pool(&disk, 5);
+  CountingSink sink;
+  const std::vector<Cluster> clusters{a, b};
+  const std::vector<uint32_t> order{0, 1};
+  ASSERT_TRUE(
+      ExecuteClusteredJoin(input, clusters, order, &pool, &sink, nullptr)
+          .ok());
+  // Pages: r0, s0, s1 for cluster a; cluster b needs r0 (resident) + s2.
+  EXPECT_EQ(disk.stats().pages_read, 4u);
+  EXPECT_GE(disk.stats().buffer_hits, 1u);
+}
+
+TEST(ExecutorTest, RejectsBadOrder) {
+  SmallVectorJoin fixture(50, 50, 15, 0.05);
+  const auto clusters = SquareClustering(fixture.matrix(), 8, nullptr);
+  BufferPool pool(&fixture.disk(), 8);
+  CountingSink sink;
+  const std::vector<uint32_t> short_order;  // Wrong size.
+  EXPECT_FALSE(ExecuteClusteredJoin(fixture.input(), clusters, short_order,
+                                    &pool, &sink, nullptr)
+                   .ok());
+}
+
+TEST(ExecutorTest, ClusterLargerThanPoolFails) {
+  SimulatedDisk disk;
+  disk.CreateFile("r", 10);
+  disk.CreateFile("s", 10);
+  class NullJoiner : public PagePairJoiner {
+   public:
+    void JoinPages(uint32_t, uint32_t, PairSink*, OpCounters*) override {}
+    void ChargeScanned(uint32_t, uint32_t, OpCounters*) const override {}
+  };
+  NullJoiner joiner;
+  JoinInput input;
+  input.r_file = 0;
+  input.s_file = 1;
+  input.r_pages = 10;
+  input.s_pages = 10;
+  input.joiner = &joiner;
+
+  Cluster big;
+  big.rows = {0, 1, 2};
+  big.cols = {0, 1, 2};
+  for (uint32_t r : big.rows) {
+    for (uint32_t c : big.cols) big.entries.push_back(MatrixEntry{r, c});
+  }
+  BufferPool pool(&disk, 4);  // Cluster needs 6 pages.
+  CountingSink sink;
+  const std::vector<Cluster> clusters{big};
+  const std::vector<uint32_t> order{0};
+  EXPECT_FALSE(
+      ExecuteClusteredJoin(input, clusters, order, &pool, &sink, nullptr)
+          .ok());
+}
+
+
+TEST(ExecutorTest, SelfJoinRowAndColSamePagePinnedOnce) {
+  // In a self join a cluster's row page and col page can be the same
+  // physical page; the executor's page set deduplicates it.
+  SimulatedDisk disk;
+  const uint32_t file = disk.CreateFile("d", 10);
+
+  class NullJoiner : public PagePairJoiner {
+   public:
+    void JoinPages(uint32_t, uint32_t, PairSink*, OpCounters*) override {}
+    void ChargeScanned(uint32_t, uint32_t, OpCounters*) const override {}
+  };
+  NullJoiner joiner;
+  JoinInput input;
+  input.r_file = file;
+  input.s_file = file;
+  input.r_pages = 10;
+  input.s_pages = 10;
+  input.self_join = true;
+  input.joiner = &joiner;
+
+  Cluster diag;
+  diag.rows = {5};
+  diag.cols = {5};
+  diag.entries = {MatrixEntry{5, 5}};
+  EXPECT_EQ(ClusterPageSet(diag, input).size(), 1u);
+
+  BufferPool pool(&disk, 4);
+  CountingSink sink;
+  const std::vector<Cluster> clusters{diag};
+  const std::vector<uint32_t> order{0};
+  ASSERT_TRUE(
+      ExecuteClusteredJoin(input, clusters, order, &pool, &sink, nullptr)
+          .ok());
+  EXPECT_EQ(disk.stats().pages_read, 1u);
+}
+
+}  // namespace
+}  // namespace pmjoin

@@ -1,0 +1,197 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pmjoin {
+namespace {
+
+/// Builds a cluster over explicit row/col page ids (entries are synthetic
+/// but consistent).
+Cluster MakeCluster(std::vector<uint32_t> rows, std::vector<uint32_t> cols) {
+  Cluster c;
+  c.rows = std::move(rows);
+  c.cols = std::move(cols);
+  std::sort(c.rows.begin(), c.rows.end());
+  std::sort(c.cols.begin(), c.cols.end());
+  for (uint32_t r : c.rows) {
+    for (uint32_t col : c.cols) c.entries.push_back(MatrixEntry{r, col});
+  }
+  return c;
+}
+
+JoinInput TwoFileInput() {
+  JoinInput input;
+  input.r_file = 0;
+  input.s_file = 1;
+  input.r_pages = 100;
+  input.s_pages = 100;
+  return input;
+}
+
+TEST(SharingGraphTest, WeightsAreSharedPageCounts) {
+  // Example 2 (§8): five clusters with known page sets.
+  // C1 = {r2,r3, s3,s5,s6}, C2 = {r2,r3,r4, s3,s4},
+  // C3 = {r5,r6, s4,s7}, C4 = {r1,r4,r7, s2,s7}, C5 = {r7, s1}.
+  // (Page ids 1-based in the paper; 0-based here.)
+  const std::vector<Cluster> clusters{
+      MakeCluster({1, 2}, {2, 4, 5}),    // C1
+      MakeCluster({1, 2, 3}, {2, 3}),    // C2
+      MakeCluster({4, 5}, {3, 6}),       // C3
+      MakeCluster({0, 3, 6}, {1, 6}),    // C4
+      MakeCluster({6}, {0}),             // C5
+  };
+  const JoinInput input = TwoFileInput();
+  const std::vector<SharingEdge> edges =
+      BuildSharingGraph(clusters, input, nullptr);
+
+  auto weight = [&edges](uint32_t a, uint32_t b) -> uint32_t {
+    for (const SharingEdge& e : edges) {
+      if ((e.a == a && e.b == b) || (e.a == b && e.b == a)) return e.weight;
+    }
+    return 0;
+  };
+  // C1∩C2 = {r2,r3,s3} → 3. C2∩C3 = {s4} → 1. C2∩C4 = {r4} → 1.
+  // C3∩C4 = {s7} → 1. C4∩C5 = {r7} → 1. C1∩C3 = ∅.
+  EXPECT_EQ(weight(0, 1), 3u);
+  EXPECT_EQ(weight(1, 2), 1u);
+  EXPECT_EQ(weight(1, 3), 1u);
+  EXPECT_EQ(weight(2, 3), 1u);
+  EXPECT_EQ(weight(3, 4), 1u);
+  EXPECT_EQ(weight(0, 2), 0u);
+}
+
+TEST(SharingGraphTest, SelfJoinPagesCanCollide) {
+  // In a self join, a row page and a col page with the same index are the
+  // same physical page.
+  JoinInput input;
+  input.r_file = 7;
+  input.s_file = 7;
+  input.self_join = true;
+  const std::vector<Cluster> clusters{
+      MakeCluster({1}, {2}),  // Pages {1, 2}.
+      MakeCluster({2}, {3}),  // Pages {2, 3} — shares page 2 as a row.
+  };
+  const std::vector<SharingEdge> edges =
+      BuildSharingGraph(clusters, input, nullptr);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].weight, 1u);
+}
+
+TEST(ScheduleClustersTest, VisitsEveryClusterExactlyOnce) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Cluster> clusters;
+    const size_t n = 1 + rng.Uniform(20);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<uint32_t> rows, cols;
+      const size_t nr = 1 + rng.Uniform(4);
+      for (size_t k = 0; k < nr; ++k)
+        rows.push_back(static_cast<uint32_t>(rng.Uniform(30)));
+      const size_t nc = 1 + rng.Uniform(4);
+      for (size_t k = 0; k < nc; ++k)
+        cols.push_back(static_cast<uint32_t>(rng.Uniform(30)));
+      std::sort(rows.begin(), rows.end());
+      rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+      std::sort(cols.begin(), cols.end());
+      cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+      clusters.push_back(MakeCluster(rows, cols));
+    }
+    const std::vector<uint32_t> order =
+        ScheduleClusters(clusters, TwoFileInput(), nullptr);
+    ASSERT_EQ(order.size(), clusters.size());
+    std::set<uint32_t> seen(order.begin(), order.end());
+    EXPECT_EQ(seen.size(), clusters.size());
+  }
+}
+
+TEST(ScheduleClustersTest, AdjacentClustersShareWhenPossible) {
+  // Example-2 graph: the greedy schedule must place C1 next to C2 (their
+  // weight-3 edge dominates every alternative).
+  const std::vector<Cluster> clusters{
+      MakeCluster({1, 2}, {2, 4, 5}),  MakeCluster({1, 2, 3}, {2, 3}),
+      MakeCluster({4, 5}, {3, 6}),     MakeCluster({0, 3, 6}, {1, 6}),
+      MakeCluster({6}, {0}),
+  };
+  const std::vector<uint32_t> order =
+      ScheduleClusters(clusters, TwoFileInput(), nullptr);
+  ASSERT_EQ(order.size(), 5u);
+  size_t pos0 = 0, pos1 = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == 0) pos0 = i;
+    if (order[i] == 1) pos1 = i;
+  }
+  EXPECT_EQ(std::max(pos0, pos1) - std::min(pos0, pos1), 1u);
+}
+
+TEST(ScheduleClustersTest, PathBeatsIndexOrderOnTotalOverlap) {
+  // Lemma 4: the schedule's saving is the sum of consecutive overlaps.
+  // The greedy path must never be worse than index order on a random
+  // instance where index order has no structure.
+  Rng rng(11);
+  std::vector<Cluster> clusters;
+  for (size_t i = 0; i < 15; ++i) {
+    std::vector<uint32_t> rows{static_cast<uint32_t>(rng.Uniform(10)),
+                               static_cast<uint32_t>(rng.Uniform(10))};
+    std::vector<uint32_t> cols{static_cast<uint32_t>(rng.Uniform(10)),
+                               static_cast<uint32_t>(rng.Uniform(10))};
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    clusters.push_back(MakeCluster(rows, cols));
+  }
+  const JoinInput input = TwoFileInput();
+
+  auto overlap = [&input](const Cluster& a, const Cluster& b) {
+    const auto pa = ClusterPageSet(a, input);
+    const auto pb = ClusterPageSet(b, input);
+    size_t count = 0;
+    for (const PageId& p : pa) {
+      count += std::binary_search(pb.begin(), pb.end(), p) ? 1 : 0;
+    }
+    return count;
+  };
+  auto total_overlap = [&clusters,
+                        &overlap](const std::vector<uint32_t>& order) {
+    size_t total = 0;
+    for (size_t i = 1; i < order.size(); ++i) {
+      total += overlap(clusters[order[i - 1]], clusters[order[i]]);
+    }
+    return total;
+  };
+
+  const std::vector<uint32_t> scheduled =
+      ScheduleClusters(clusters, input, nullptr);
+  std::vector<uint32_t> index_order(clusters.size());
+  for (uint32_t i = 0; i < clusters.size(); ++i) index_order[i] = i;
+  EXPECT_GE(total_overlap(scheduled), total_overlap(index_order));
+}
+
+TEST(ScheduleClustersTest, HandlesEdgeSizes) {
+  const JoinInput input = TwoFileInput();
+  EXPECT_TRUE(ScheduleClusters({}, input, nullptr).empty());
+  const std::vector<Cluster> one{MakeCluster({0}, {0})};
+  EXPECT_EQ(ScheduleClusters(one, input, nullptr),
+            (std::vector<uint32_t>{0}));
+}
+
+TEST(ScheduleClustersTest, DisconnectedComponentsAllEmitted) {
+  const std::vector<Cluster> clusters{
+      MakeCluster({0}, {0}), MakeCluster({0}, {1}),   // Component A.
+      MakeCluster({50}, {50}), MakeCluster({50}, {51}),  // Component B.
+      MakeCluster({90}, {90}),  // Isolated.
+  };
+  const std::vector<uint32_t> order =
+      ScheduleClusters(clusters, TwoFileInput(), nullptr);
+  ASSERT_EQ(order.size(), 5u);
+  std::set<uint32_t> seen(order.begin(), order.end());
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+}  // namespace
+}  // namespace pmjoin

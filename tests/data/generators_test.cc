@@ -1,0 +1,203 @@
+#include "data/generators.h"
+
+#include "common/rng.h"
+#include "seq/edit_distance.h"
+#include "seq/sequence_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace pmjoin {
+namespace {
+
+TEST(GeneratorsTest, RoadNetworkShapeAndBounds) {
+  const VectorData data = GenRoadNetwork(1000, 42);
+  EXPECT_EQ(data.dims, 2u);
+  EXPECT_EQ(data.count(), 1000u);
+  for (float v : data.values) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(GeneratorsTest, RoadNetworkDeterministic) {
+  const VectorData a = GenRoadNetwork(500, 7);
+  const VectorData b = GenRoadNetwork(500, 7);
+  EXPECT_EQ(a.values, b.values);
+}
+
+TEST(GeneratorsTest, RoadNetworkSeedsDiffer) {
+  const VectorData a = GenRoadNetwork(500, 7);
+  const VectorData b = GenRoadNetwork(500, 8);
+  EXPECT_NE(a.values, b.values);
+}
+
+TEST(GeneratorsTest, RoadNetworkIsSkewed) {
+  // Road data clusters along 1-d polyline structures: on a fine grid it
+  // must occupy far fewer cells than uniform data of the same size.
+  const VectorData roads = GenRoadNetwork(5000, 11);
+  const VectorData uniform = GenUniform(5000, 2, 11);
+  auto occupied_cells = [](const VectorData& data) {
+    std::set<int> occupied;
+    for (size_t i = 0; i < data.count(); ++i) {
+      const int cx = std::min(39, int(data.record(i)[0] * 40));
+      const int cy = std::min(39, int(data.record(i)[1] * 40));
+      occupied.insert(cx * 40 + cy);
+    }
+    return occupied.size();
+  };
+  EXPECT_LT(occupied_cells(roads), 0.8 * occupied_cells(uniform));
+}
+
+TEST(GeneratorsTest, CorrelatedClustersShape) {
+  const VectorData data = GenCorrelatedClusters(800, 60, 3);
+  EXPECT_EQ(data.dims, 60u);
+  EXPECT_EQ(data.count(), 800u);
+}
+
+TEST(GeneratorsTest, CorrelatedClustersDeterministic) {
+  const VectorData a = GenCorrelatedClusters(200, 16, 5);
+  const VectorData b = GenCorrelatedClusters(200, 16, 5);
+  EXPECT_EQ(a.values, b.values);
+}
+
+TEST(GeneratorsTest, CorrelatedClustersAreClustered) {
+  // Mean nearest-cluster-center spread should be far below the uniform
+  // expectation; cheap proxy: per-dimension variance of the data is
+  // dominated by the center spread, and points repeat cluster structure —
+  // test that many points are close to some other point.
+  const VectorData data = GenCorrelatedClusters(400, 8, 13, 8, 3);
+  int close_pairs = 0;
+  for (size_t i = 0; i < 100; ++i) {
+    for (size_t j = i + 1; j < 100; ++j) {
+      double sq = 0.0;
+      for (size_t d = 0; d < 8; ++d) {
+        const double diff = double(data.record(i)[d]) - data.record(j)[d];
+        sq += diff * diff;
+      }
+      if (std::sqrt(sq) < 0.2) ++close_pairs;
+    }
+  }
+  EXPECT_GT(close_pairs, 50);
+}
+
+TEST(GeneratorsTest, UniformBounds) {
+  const VectorData data = GenUniform(300, 5, 17);
+  EXPECT_EQ(data.count(), 300u);
+  for (float v : data.values) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(GeneratorsTest, DnaSequenceAlphabetAndLength) {
+  const std::vector<uint8_t> seq = GenDnaSequence(10000, 19);
+  EXPECT_EQ(seq.size(), 10000u);
+  for (uint8_t c : seq) EXPECT_LT(c, 4);
+}
+
+TEST(GeneratorsTest, DnaSequenceDeterministic) {
+  EXPECT_EQ(GenDnaSequence(5000, 3), GenDnaSequence(5000, 3));
+  EXPECT_NE(GenDnaSequence(5000, 3), GenDnaSequence(5000, 4));
+}
+
+/// Packs a 20-mer over a 4-letter alphabet into 40 bits.
+uint64_t PackKmer(const std::vector<uint8_t>& seq, size_t start) {
+  uint64_t packed = 0;
+  for (size_t i = 0; i < 20; ++i) packed = (packed << 2) | seq[start + i];
+  return packed;
+}
+
+TEST(GeneratorsTest, DnaSequenceHasRepeats) {
+  // With planted motifs, some 20-mers must appear more than once; in an
+  // i.i.d. uniform sequence of this length a repeated 20-mer is
+  // essentially impossible (4^20 >> (5·10^4)² pairs).
+  const std::vector<uint8_t> seq = GenDnaSequence(50000, 23, 0.4, 0.0);
+  std::set<uint64_t> seen;
+  bool found_repeat = false;
+  for (size_t i = 0; i + 20 <= seq.size() && !found_repeat; ++i) {
+    found_repeat = !seen.insert(PackKmer(seq, i)).second;
+  }
+  EXPECT_TRUE(found_repeat);
+}
+
+TEST(GeneratorsTest, DnaPairSharesMotifs) {
+  std::vector<uint8_t> a, b;
+  // Small regime blocks so both sequences visit many regimes — motifs are
+  // regime-local, so shared motifs require shared regimes.
+  GenDnaPair(50000, 40000, 29, &a, &b, 0.4, 0.0, /*regime_scale=*/0.05);
+  EXPECT_EQ(a.size(), 50000u);
+  EXPECT_EQ(b.size(), 40000u);
+  // Cross-sequence repeated 20-mers should exist (shared motif pool).
+  std::set<uint64_t> a_kmers;
+  for (size_t i = 0; i + 20 <= a.size(); ++i) {
+    a_kmers.insert(PackKmer(a, i));
+  }
+  bool shared = false;
+  for (size_t i = 0; i + 20 <= b.size() && !shared; ++i) {
+    shared = a_kmers.count(PackKmer(b, i)) > 0;
+  }
+  EXPECT_TRUE(shared);
+}
+
+
+TEST(GeneratorsTest, DnaPageSummariesAreSelective) {
+  // Regression guard for the generator's isochore/drift design: page-level
+  // frequency MBRs of a paged store must separate most page pairs, or the
+  // prediction matrix degenerates to all-marked and every genome bench
+  // collapses (see DESIGN.md, "Synthetic-genome design").
+  SimulatedDisk disk;
+  const std::vector<uint8_t> seq =
+      GenDnaSequence(120000, 0xD7A, 0.30, 0.004, /*regime_scale=*/0.15);
+  auto store = StringSequenceStore::Build(&disk, "dna", seq, 4, 500, 1024);
+  ASSERT_TRUE(store.ok());
+  const uint32_t pages = store->layout().NumPages();
+  ASSERT_GT(pages, 50u);
+  uint64_t marked = 0;
+  for (uint32_t p = 0; p < pages; ++p) {
+    for (uint32_t q = 0; q < pages; ++q) {
+      if (store->PageLowerBound(p, *store, q) <= 5.0) ++marked;
+    }
+  }
+  const double selectivity =
+      double(marked) / (double(pages) * double(pages));
+  EXPECT_LT(selectivity, 0.30) << "page summaries no longer selective";
+  EXPECT_GT(selectivity, 0.005) << "self-similarity vanished";
+}
+
+TEST(GeneratorsTest, DnaWindowsAreNotLowComplexity) {
+  // Random (non-repeat) window pairs must NOT fall within a small edit
+  // distance — low-complexity text floods the join with bogus results
+  // (the regime palette caps letter dominance for this reason).
+  const std::vector<uint8_t> seq =
+      GenDnaSequence(20000, 7, 0.0, 0.0, /*regime_scale=*/0.15);
+  Rng rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t x = rng.Uniform(seq.size() - 1600);
+    const size_t y =
+        x + 600 + rng.Uniform(seq.size() - 500 - (x + 600) + 1);
+    const size_t ed = BandedEditDistance(
+        std::span<const uint8_t>(seq).subspan(x, 500),
+        std::span<const uint8_t>(seq).subspan(y, 500), 25);
+    EXPECT_GT(ed, 25u) << "windows at " << x << "," << y;
+  }
+}
+
+TEST(GeneratorsTest, RandomWalkPositiveAndDeterministic) {
+  const std::vector<float> w = GenRandomWalk(2000, 31);
+  EXPECT_EQ(w.size(), 2000u);
+  for (float v : w) EXPECT_GT(v, 0.0f);
+  EXPECT_EQ(w, GenRandomWalk(2000, 31));
+}
+
+TEST(GeneratorsTest, RandomWalkMoves) {
+  const std::vector<float> w = GenRandomWalk(1000, 37);
+  const auto [mn, mx] = std::minmax_element(w.begin(), w.end());
+  EXPECT_GT(*mx - *mn, 0.1f);
+}
+
+}  // namespace
+}  // namespace pmjoin

@@ -1,0 +1,138 @@
+#include "data/vector_dataset.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace pmjoin {
+namespace {
+
+VectorDataset::Options PageBytes(uint32_t bytes) {
+  VectorDataset::Options options;
+  options.page_size_bytes = bytes;
+  return options;
+}
+
+TEST(VectorDatasetTest, BuildValidation) {
+  SimulatedDisk disk;
+  VectorData empty;
+  empty.dims = 2;
+  EXPECT_FALSE(VectorDataset::Build(&disk, "x", empty, PageBytes(4096)).ok());
+
+  VectorData tiny = GenUniform(10, 64, 3);
+  // 64 floats = 256 bytes > 128-byte page.
+  EXPECT_FALSE(VectorDataset::Build(&disk, "x", tiny, PageBytes(128)).ok());
+}
+
+TEST(VectorDatasetTest, PageGeometry) {
+  SimulatedDisk disk;
+  const VectorData data = GenUniform(1000, 2, 5);
+  auto ds = VectorDataset::Build(&disk, "pts", data, PageBytes(256));
+  ASSERT_TRUE(ds.ok());
+  // 256 / (2·4) = 32 records per page → 32 pages except a short last one.
+  EXPECT_EQ(ds->records_per_page(), 32u);
+  EXPECT_EQ(ds->num_pages(), 32u);  // 1000/32 = 31.25 → 32 pages.
+  uint64_t total = 0;
+  for (uint32_t p = 0; p < ds->num_pages(); ++p)
+    total += ds->PageRecordCount(p);
+  EXPECT_EQ(total, 1000u);
+  EXPECT_EQ(ds->PageRecordCount(ds->num_pages() - 1), 1000u - 31u * 32u);
+}
+
+TEST(VectorDatasetTest, OriginalIdRoundTrip) {
+  SimulatedDisk disk;
+  const VectorData data = GenRoadNetwork(500, 7);
+  auto ds = VectorDataset::Build(&disk, "pts", data, PageBytes(128));
+  ASSERT_TRUE(ds.ok());
+  std::set<uint64_t> seen;
+  for (uint32_t p = 0; p < ds->num_pages(); ++p) {
+    for (uint32_t s = 0; s < ds->PageRecordCount(p); ++s) {
+      const uint64_t orig = ds->OriginalId(p, s);
+      EXPECT_TRUE(seen.insert(orig).second);
+      // The stored record equals the original record.
+      const std::span<const float> stored = ds->Record(p, s);
+      for (size_t d = 0; d < 2; ++d) {
+        EXPECT_EQ(stored[d], data.record(orig)[d]);
+      }
+      // And the reverse lookup agrees.
+      const std::span<const float> by_id = ds->RecordByOriginalId(orig);
+      EXPECT_EQ(by_id.data(), stored.data());
+    }
+  }
+  EXPECT_EQ(seen.size(), 500u);
+}
+
+TEST(VectorDatasetTest, PageMbrsCoverTheirRecords) {
+  SimulatedDisk disk;
+  const VectorData data = GenRoadNetwork(800, 9);
+  auto ds = VectorDataset::Build(&disk, "pts", data, PageBytes(256));
+  ASSERT_TRUE(ds.ok());
+  for (uint32_t p = 0; p < ds->num_pages(); ++p) {
+    for (uint32_t s = 0; s < ds->PageRecordCount(p); ++s) {
+      EXPECT_TRUE(ds->PageMbr(p).Contains(ds->Record(p, s)));
+    }
+  }
+}
+
+TEST(VectorDatasetTest, StrPackingGivesTightPages) {
+  // Page MBRs should be dramatically tighter than input-order paging.
+  SimulatedDisk disk;
+  const VectorData data = GenUniform(2000, 2, 11);
+  auto ds = VectorDataset::Build(&disk, "pts", data, PageBytes(256));
+  ASSERT_TRUE(ds.ok());
+  double packed_area = 0.0;
+  for (uint32_t p = 0; p < ds->num_pages(); ++p)
+    packed_area += ds->PageMbr(p).Area();
+
+  double naive_area = 0.0;
+  const uint32_t rpp = ds->records_per_page();
+  for (size_t start = 0; start < data.count(); start += rpp) {
+    Mbr m(2);
+    for (size_t i = start; i < std::min(data.count(), start + rpp); ++i) {
+      m.Expand(std::span<const float>(data.record(i), 2));
+    }
+    naive_area += m.Area();
+  }
+  EXPECT_LT(packed_area, 0.3 * naive_area);
+}
+
+TEST(VectorDatasetTest, TreeLeafIdsArePages) {
+  SimulatedDisk disk;
+  const VectorData data = GenUniform(600, 2, 13);
+  auto ds = VectorDataset::Build(&disk, "pts", data, PageBytes(256));
+  ASSERT_TRUE(ds.ok());
+  const RStarTree& tree = ds->tree();
+  EXPECT_EQ(tree.size(), ds->num_pages());
+  std::vector<uint32_t> pages;
+  tree.RangeSearch(Mbr::FromBounds({-1.0f, -1.0f}, {2.0f, 2.0f}), &pages);
+  std::sort(pages.begin(), pages.end());
+  ASSERT_EQ(pages.size(), ds->num_pages());
+  for (uint32_t p = 0; p < pages.size(); ++p) EXPECT_EQ(pages[p], p);
+}
+
+TEST(VectorDatasetTest, FilesRegisteredOnDisk) {
+  SimulatedDisk disk;
+  const VectorData data = GenUniform(100, 4, 17);
+  auto ds = VectorDataset::Build(&disk, "vecs", data, PageBytes(512));
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(disk.file(ds->file_id()).num_pages, ds->num_pages());
+  EXPECT_EQ(disk.file(ds->file_id()).name, "vecs");
+  ASSERT_TRUE(ds->tree().file_id().has_value());
+  EXPECT_EQ(disk.file(*ds->tree().file_id()).num_pages,
+            ds->tree().NumNodes());
+}
+
+TEST(VectorDatasetTest, HighDimensionalBuild) {
+  SimulatedDisk disk;
+  const VectorData data = GenCorrelatedClusters(500, 60, 19);
+  auto ds = VectorDataset::Build(&disk, "landsat", data, PageBytes(4096));
+  ASSERT_TRUE(ds.ok());
+  // 4096 / 240 = 17 records per page.
+  EXPECT_EQ(ds->records_per_page(), 17u);
+  EXPECT_EQ(ds->num_pages(), (500u + 16u) / 17u);
+}
+
+}  // namespace
+}  // namespace pmjoin

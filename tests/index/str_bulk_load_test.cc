@@ -1,0 +1,112 @@
+#include "index/str_bulk_load.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace pmjoin {
+namespace {
+
+using testing_util::RandomBox;
+
+TEST(StrPackTest, EmptyInput) {
+  EXPECT_TRUE(StrPack({}, 4).empty());
+}
+
+TEST(StrPackTest, SingleGroupWhenSmall) {
+  Rng rng(3);
+  std::vector<Mbr> items;
+  for (int i = 0; i < 4; ++i) items.push_back(RandomBox(&rng, 2));
+  const auto groups = StrPack(items, 10);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 4u);
+}
+
+class StrPackPropertyTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(StrPackPropertyTest, PartitionIsExactCover) {
+  const auto [n, capacity] = GetParam();
+  Rng rng(5 + n);
+  std::vector<Mbr> items;
+  for (size_t i = 0; i < n; ++i) items.push_back(RandomBox(&rng, 3));
+  const auto groups = StrPack(items, capacity);
+
+  std::set<uint32_t> seen;
+  for (const auto& g : groups) {
+    EXPECT_LE(g.size(), capacity);
+    EXPECT_FALSE(g.empty());
+    for (uint32_t idx : g) {
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate index " << idx;
+      EXPECT_LT(idx, n);
+    }
+  }
+  EXPECT_EQ(seen.size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, StrPackPropertyTest,
+    ::testing::Values(std::make_pair<size_t, size_t>(1, 4),
+                      std::make_pair<size_t, size_t>(10, 4),
+                      std::make_pair<size_t, size_t>(100, 8),
+                      std::make_pair<size_t, size_t>(1000, 64),
+                      std::make_pair<size_t, size_t>(257, 16)));
+
+TEST(StrPackTest, SpatialLocalityBeatsRandomGrouping) {
+  // The packed groups' total MBR area should be far below a random
+  // partition's — that is STR's purpose.
+  Rng rng(11);
+  std::vector<Mbr> items;
+  for (int i = 0; i < 500; ++i) items.push_back(RandomBox(&rng, 2, 0.01));
+  const size_t capacity = 25;
+  const auto groups = StrPack(items, capacity);
+
+  auto total_area = [&items](const std::vector<std::vector<uint32_t>>& gs) {
+    double area = 0.0;
+    for (const auto& g : gs) {
+      Mbr cover(2);
+      for (uint32_t i : g) cover.Expand(items[i]);
+      area += cover.Area();
+    }
+    return area;
+  };
+
+  std::vector<uint32_t> shuffled(items.size());
+  std::iota(shuffled.begin(), shuffled.end(), 0u);
+  rng.Shuffle(shuffled);
+  std::vector<std::vector<uint32_t>> random_groups;
+  for (size_t i = 0; i < shuffled.size(); i += capacity) {
+    random_groups.emplace_back(
+        shuffled.begin() + i,
+        shuffled.begin() + std::min(i + capacity, shuffled.size()));
+  }
+  EXPECT_LT(total_area(groups), 0.5 * total_area(random_groups));
+}
+
+TEST(StrPackTest, DeterministicAcrossRuns) {
+  Rng rng1(13), rng2(13);
+  std::vector<Mbr> a, b;
+  for (int i = 0; i < 100; ++i) {
+    a.push_back(RandomBox(&rng1, 2));
+    b.push_back(RandomBox(&rng2, 2));
+  }
+  EXPECT_EQ(StrPack(a, 10), StrPack(b, 10));
+}
+
+TEST(StrPackTest, HighDimensional) {
+  Rng rng(17);
+  std::vector<Mbr> items;
+  for (int i = 0; i < 200; ++i) items.push_back(RandomBox(&rng, 16));
+  const auto groups = StrPack(items, 32);
+  size_t covered = 0;
+  for (const auto& g : groups) covered += g.size();
+  EXPECT_EQ(covered, items.size());
+}
+
+}  // namespace
+}  // namespace pmjoin

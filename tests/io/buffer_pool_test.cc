@@ -1,0 +1,171 @@
+#include "io/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace pmjoin {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  BufferPoolTest() : file_(disk_.CreateFile("data", 100)) {}
+
+  SimulatedDisk disk_;
+  uint32_t file_;
+};
+
+TEST_F(BufferPoolTest, MissReadsFromDisk) {
+  BufferPool pool(&disk_, 4);
+  ASSERT_TRUE(pool.Touch({file_, 0}).ok());
+  EXPECT_EQ(disk_.stats().pages_read, 1u);
+  EXPECT_TRUE(pool.Contains({file_, 0}));
+}
+
+TEST_F(BufferPoolTest, HitCostsNothing) {
+  BufferPool pool(&disk_, 4);
+  ASSERT_TRUE(pool.Touch({file_, 0}).ok());
+  const uint64_t reads = disk_.stats().pages_read;
+  ASSERT_TRUE(pool.Touch({file_, 0}).ok());
+  EXPECT_EQ(disk_.stats().pages_read, reads);
+  EXPECT_EQ(disk_.stats().buffer_hits, 1u);
+}
+
+TEST_F(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  BufferPool pool(&disk_, 3);
+  ASSERT_TRUE(pool.Touch({file_, 0}).ok());
+  ASSERT_TRUE(pool.Touch({file_, 1}).ok());
+  ASSERT_TRUE(pool.Touch({file_, 2}).ok());
+  // Refresh page 0, making page 1 the LRU victim.
+  ASSERT_TRUE(pool.Touch({file_, 0}).ok());
+  ASSERT_TRUE(pool.Touch({file_, 3}).ok());
+  EXPECT_TRUE(pool.Contains({file_, 0}));
+  EXPECT_FALSE(pool.Contains({file_, 1}));
+  EXPECT_TRUE(pool.Contains({file_, 2}));
+  EXPECT_TRUE(pool.Contains({file_, 3}));
+}
+
+TEST_F(BufferPoolTest, PinnedPagesNotEvicted) {
+  BufferPool pool(&disk_, 2);
+  ASSERT_TRUE(pool.Pin({file_, 0}).ok());
+  ASSERT_TRUE(pool.Touch({file_, 1}).ok());
+  ASSERT_TRUE(pool.Touch({file_, 2}).ok());  // Evicts 1, not pinned 0.
+  EXPECT_TRUE(pool.Contains({file_, 0}));
+  EXPECT_FALSE(pool.Contains({file_, 1}));
+  pool.Unpin({file_, 0});
+}
+
+TEST_F(BufferPoolTest, AllPinnedIsBufferFull) {
+  BufferPool pool(&disk_, 2);
+  ASSERT_TRUE(pool.Pin({file_, 0}).ok());
+  ASSERT_TRUE(pool.Pin({file_, 1}).ok());
+  EXPECT_TRUE(pool.Touch({file_, 2}).IsBufferFull());
+  pool.Unpin({file_, 0});
+  pool.Unpin({file_, 1});
+}
+
+TEST_F(BufferPoolTest, UnpinnedBecomesEvictable) {
+  BufferPool pool(&disk_, 2);
+  ASSERT_TRUE(pool.Pin({file_, 0}).ok());
+  ASSERT_TRUE(pool.Pin({file_, 1}).ok());
+  pool.Unpin({file_, 0});
+  ASSERT_TRUE(pool.Touch({file_, 2}).ok());
+  EXPECT_FALSE(pool.Contains({file_, 0}));
+  pool.Unpin({file_, 1});
+}
+
+TEST_F(BufferPoolTest, PinCountNesting) {
+  BufferPool pool(&disk_, 2);
+  ASSERT_TRUE(pool.Pin({file_, 0}).ok());
+  ASSERT_TRUE(pool.Pin({file_, 0}).ok());
+  pool.Unpin({file_, 0});
+  // Still pinned once: not evictable.
+  ASSERT_TRUE(pool.Pin({file_, 1}).ok());
+  EXPECT_TRUE(pool.Touch({file_, 2}).IsBufferFull());
+  pool.Unpin({file_, 0});
+  pool.Unpin({file_, 1});
+}
+
+TEST_F(BufferPoolTest, PinBatchUsesOptimalSchedule) {
+  BufferPool pool(&disk_, 10);
+  // Pages 5,6,7 and 20: two runs → two seeks, 4 transfers.
+  const std::vector<PageId> batch{{file_, 7}, {file_, 20}, {file_, 5},
+                                  {file_, 6}};
+  ASSERT_TRUE(pool.PinBatch(batch).ok());
+  EXPECT_EQ(disk_.stats().seeks, 2u);
+  EXPECT_EQ(disk_.stats().pages_read, 4u);
+  pool.UnpinBatch(batch);
+}
+
+TEST_F(BufferPoolTest, PinBatchHitsAreFree) {
+  BufferPool pool(&disk_, 10);
+  ASSERT_TRUE(pool.Touch({file_, 5}).ok());
+  const uint64_t reads = disk_.stats().pages_read;
+  const std::vector<PageId> batch{{file_, 5}, {file_, 6}};
+  ASSERT_TRUE(pool.PinBatch(batch).ok());
+  EXPECT_EQ(disk_.stats().pages_read, reads + 1);  // Only page 6.
+  EXPECT_GE(disk_.stats().buffer_hits, 1u);
+  pool.UnpinBatch(batch);
+}
+
+TEST_F(BufferPoolTest, PinBatchTooLargeFails) {
+  BufferPool pool(&disk_, 3);
+  std::vector<PageId> batch;
+  for (uint32_t p = 0; p < 4; ++p) batch.push_back({file_, p});
+  EXPECT_FALSE(pool.PinBatch(batch).ok());
+  // Rollback: nothing left pinned.
+  EXPECT_EQ(pool.PinnedCount(), 0u);
+}
+
+TEST_F(BufferPoolTest, CapacityEnforced) {
+  BufferPool pool(&disk_, 5);
+  for (uint32_t p = 0; p < 20; ++p) ASSERT_TRUE(pool.Touch({file_, p}).ok());
+  EXPECT_LE(pool.ResidentCount(), 5u);
+}
+
+TEST_F(BufferPoolTest, ClearDropsResidency) {
+  BufferPool pool(&disk_, 4);
+  ASSERT_TRUE(pool.Touch({file_, 0}).ok());
+  ASSERT_TRUE(pool.Clear().ok());
+  EXPECT_FALSE(pool.Contains({file_, 0}));
+  EXPECT_EQ(pool.ResidentCount(), 0u);
+}
+
+TEST_F(BufferPoolTest, ClearWithPinsFails) {
+  BufferPool pool(&disk_, 4);
+  ASSERT_TRUE(pool.Pin({file_, 0}).ok());
+  EXPECT_FALSE(pool.Clear().ok());
+  pool.Unpin({file_, 0});
+  EXPECT_TRUE(pool.Clear().ok());
+}
+
+TEST_F(BufferPoolTest, RereadAfterEvictionCharged) {
+  BufferPool pool(&disk_, 2);
+  ASSERT_TRUE(pool.Touch({file_, 0}).ok());
+  ASSERT_TRUE(pool.Touch({file_, 1}).ok());
+  ASSERT_TRUE(pool.Touch({file_, 2}).ok());  // Evicts 0.
+  ASSERT_TRUE(pool.Touch({file_, 0}).ok());  // Must re-read.
+  EXPECT_EQ(disk_.stats().pages_read, 4u);
+}
+
+TEST_F(BufferPoolTest, PinnedBatchRaiiUnpins) {
+  BufferPool pool(&disk_, 4);
+  {
+    std::vector<PageId> batch{{file_, 0}, {file_, 1}};
+    ASSERT_TRUE(pool.PinBatch(batch).ok());
+    PinnedBatch guard(&pool, std::move(batch));
+    EXPECT_EQ(pool.PinnedCount(), 2u);
+  }
+  EXPECT_EQ(pool.PinnedCount(), 0u);
+}
+
+
+TEST_F(BufferPoolTest, DuplicatePageIdsInOneBatch) {
+  BufferPool pool(&disk_, 4);
+  const std::vector<PageId> batch{{file_, 3}, {file_, 3}, {file_, 4}};
+  ASSERT_TRUE(pool.PinBatch(batch).ok());
+  EXPECT_EQ(disk_.stats().pages_read, 2u);  // Page 3 read once.
+  pool.UnpinBatch(batch);                   // Unpins each occurrence.
+  EXPECT_EQ(pool.PinnedCount(), 0u);
+}
+
+}  // namespace
+}  // namespace pmjoin

@@ -1,0 +1,143 @@
+#include "io/simulated_disk.h"
+
+#include <gtest/gtest.h>
+
+namespace pmjoin {
+namespace {
+
+TEST(SimulatedDiskTest, CreateFileAssignsIdsAndRegions) {
+  SimulatedDisk disk;
+  const uint32_t a = disk.CreateFile("a", 10);
+  const uint32_t b = disk.CreateFile("b", 5);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(disk.file(a).num_pages, 10u);
+  EXPECT_EQ(disk.file(b).name, "b");
+  EXPECT_NE(disk.file(a).base_offset, disk.file(b).base_offset);
+}
+
+TEST(SimulatedDiskTest, FirstReadSeeks) {
+  SimulatedDisk disk;
+  const uint32_t f = disk.CreateFile("f", 4);
+  ASSERT_TRUE(disk.ReadPage({f, 0}).ok());
+  EXPECT_EQ(disk.stats().seeks, 1u);
+  EXPECT_EQ(disk.stats().pages_read, 1u);
+}
+
+TEST(SimulatedDiskTest, SequentialReadsDoNotSeek) {
+  SimulatedDisk disk;
+  const uint32_t f = disk.CreateFile("f", 4);
+  for (uint32_t p = 0; p < 4; ++p) ASSERT_TRUE(disk.ReadPage({f, p}).ok());
+  EXPECT_EQ(disk.stats().seeks, 1u);  // Only the first access.
+  EXPECT_EQ(disk.stats().pages_read, 4u);
+  EXPECT_EQ(disk.stats().sequential_reads, 3u);
+}
+
+TEST(SimulatedDiskTest, BackwardReadSeeks) {
+  SimulatedDisk disk;
+  const uint32_t f = disk.CreateFile("f", 4);
+  ASSERT_TRUE(disk.ReadPage({f, 2}).ok());
+  ASSERT_TRUE(disk.ReadPage({f, 1}).ok());
+  EXPECT_EQ(disk.stats().seeks, 2u);
+}
+
+TEST(SimulatedDiskTest, SkipReadSeeks) {
+  SimulatedDisk disk;
+  const uint32_t f = disk.CreateFile("f", 10);
+  ASSERT_TRUE(disk.ReadPage({f, 0}).ok());
+  ASSERT_TRUE(disk.ReadPage({f, 2}).ok());  // Skips page 1.
+  EXPECT_EQ(disk.stats().seeks, 2u);
+}
+
+TEST(SimulatedDiskTest, CrossFileReadSeeks) {
+  SimulatedDisk disk;
+  const uint32_t a = disk.CreateFile("a", 2);
+  const uint32_t b = disk.CreateFile("b", 2);
+  ASSERT_TRUE(disk.ReadPage({a, 0}).ok());
+  ASSERT_TRUE(disk.ReadPage({b, 0}).ok());
+  EXPECT_EQ(disk.stats().seeks, 2u);
+}
+
+TEST(SimulatedDiskTest, ReadRunChargesOneSeek) {
+  SimulatedDisk disk;
+  const uint32_t f = disk.CreateFile("f", 100);
+  ASSERT_TRUE(disk.ReadRun({f, 10}, 50).ok());
+  EXPECT_EQ(disk.stats().seeks, 1u);
+  EXPECT_EQ(disk.stats().pages_read, 50u);
+}
+
+TEST(SimulatedDiskTest, RunThenAdjacentPageIsSequential) {
+  SimulatedDisk disk;
+  const uint32_t f = disk.CreateFile("f", 100);
+  ASSERT_TRUE(disk.ReadRun({f, 0}, 10).ok());
+  ASSERT_TRUE(disk.ReadPage({f, 10}).ok());
+  EXPECT_EQ(disk.stats().seeks, 1u);
+}
+
+TEST(SimulatedDiskTest, WritesCharged) {
+  SimulatedDisk disk;
+  const uint32_t f = disk.CreateFile("f", 4);
+  ASSERT_TRUE(disk.WritePage({f, 0}).ok());
+  ASSERT_TRUE(disk.WritePage({f, 1}).ok());
+  EXPECT_EQ(disk.stats().pages_written, 2u);
+  EXPECT_EQ(disk.stats().seeks, 1u);  // Sequential write pair.
+}
+
+TEST(SimulatedDiskTest, ScanFileIsOneSeek) {
+  SimulatedDisk disk;
+  const uint32_t f = disk.CreateFile("f", 64);
+  ASSERT_TRUE(disk.ScanFile(f).ok());
+  EXPECT_EQ(disk.stats().seeks, 1u);
+  EXPECT_EQ(disk.stats().pages_read, 64u);
+}
+
+TEST(SimulatedDiskTest, AppendGrowsFile) {
+  SimulatedDisk disk;
+  const uint32_t f = disk.CreateFile("f", 2);
+  Result<uint32_t> first = disk.Append(f, 3);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value(), 2u);
+  EXPECT_EQ(disk.file(f).num_pages, 5u);
+  EXPECT_TRUE(disk.ReadPage({f, 4}).ok());
+}
+
+TEST(SimulatedDiskTest, OutOfBoundsReadFails) {
+  SimulatedDisk disk;
+  const uint32_t f = disk.CreateFile("f", 2);
+  EXPECT_TRUE(disk.ReadPage({f, 2}).IsOutOfRange());
+  EXPECT_TRUE(disk.ReadPage({99, 0}).IsInvalidArgument());
+}
+
+TEST(SimulatedDiskTest, ModeledSecondsUsesModel) {
+  DiskModel model;
+  model.seek_sec = 0.010;
+  model.transfer_sec = 0.001;
+  SimulatedDisk disk(model);
+  const uint32_t f = disk.CreateFile("f", 10);
+  ASSERT_TRUE(disk.ReadRun({f, 0}, 10).ok());
+  // 1 seek + 10 transfers = 10ms + 10ms.
+  EXPECT_NEAR(disk.ModeledSeconds(), 0.020, 1e-12);
+}
+
+TEST(SimulatedDiskTest, ResetStatsClearsCountersOnly) {
+  SimulatedDisk disk;
+  const uint32_t f = disk.CreateFile("f", 4);
+  ASSERT_TRUE(disk.ReadPage({f, 0}).ok());
+  disk.ResetStats();
+  EXPECT_EQ(disk.stats().pages_read, 0u);
+  EXPECT_EQ(disk.file(f).num_pages, 4u);
+}
+
+TEST(SimulatedDiskTest, DeltaAccounting) {
+  SimulatedDisk disk;
+  const uint32_t f = disk.CreateFile("f", 10);
+  ASSERT_TRUE(disk.ReadPage({f, 0}).ok());
+  const IoStats snapshot = disk.stats();
+  ASSERT_TRUE(disk.ReadRun({f, 5}, 3).ok());
+  const IoStats delta = disk.stats().Delta(snapshot);
+  EXPECT_EQ(delta.pages_read, 3u);
+  EXPECT_EQ(delta.seeks, 1u);
+}
+
+}  // namespace
+}  // namespace pmjoin

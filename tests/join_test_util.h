@@ -1,0 +1,76 @@
+#ifndef PMJOIN_TESTS_JOIN_TEST_UTIL_H_
+#define PMJOIN_TESTS_JOIN_TEST_UTIL_H_
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/joiners.h"
+#include "core/plane_sweep.h"
+#include "core/prediction_matrix.h"
+#include "core/reference_join.h"
+#include "data/generators.h"
+#include "data/vector_dataset.h"
+#include "io/simulated_disk.h"
+
+namespace pmjoin {
+namespace testing_util {
+
+/// A small, fully wired two-sided vector join: datasets on a simulated
+/// disk, joiner, JoinInput, exact prediction matrix, and the brute-force
+/// expected result. Page size is deliberately tiny so even small inputs
+/// span many pages.
+class SmallVectorJoin {
+ public:
+  SmallVectorJoin(size_t nr, size_t ns, uint64_t seed, double eps,
+                  uint32_t page_bytes = 64, Norm norm = Norm::kL2)
+      : eps_(eps), norm_(norm) {
+    r_raw_ = GenRoadNetwork(nr, seed);
+    s_raw_ = GenRoadNetwork(ns, seed + 1000);
+    VectorDataset::Options options;
+    options.page_size_bytes = page_bytes;
+    r_.emplace(
+        VectorDataset::Build(&disk_, "r", r_raw_, options).value());
+    s_.emplace(
+        VectorDataset::Build(&disk_, "s", s_raw_, options).value());
+    joiner_.emplace(&*r_, &*s_, eps, norm, /*self_join=*/false);
+    input_.r_file = r_->file_id();
+    input_.s_file = s_->file_id();
+    input_.r_pages = r_->num_pages();
+    input_.s_pages = s_->num_pages();
+    input_.self_join = false;
+    input_.joiner = &*joiner_;
+    matrix_.emplace(BuildPredictionMatrixFlat(
+        r_->page_mbrs(), s_->page_mbrs(), eps, norm, nullptr));
+  }
+
+  SimulatedDisk& disk() { return disk_; }
+  const VectorDataset& r() const { return *r_; }
+  const VectorDataset& s() const { return *s_; }
+  const JoinInput& input() const { return input_; }
+  const PredictionMatrix& matrix() const { return *matrix_; }
+  double eps() const { return eps_; }
+  Norm norm() const { return norm_; }
+
+  /// Brute-force expected pairs (sorted, unique).
+  std::vector<std::pair<uint64_t, uint64_t>> Expected() const {
+    CollectingSink sink;
+    ReferenceVectorJoin(r_raw_, s_raw_, eps_, norm_, false, &sink);
+    return sink.Sorted();
+  }
+
+ private:
+  SimulatedDisk disk_;
+  VectorData r_raw_, s_raw_;
+  std::optional<VectorDataset> r_, s_;
+  std::optional<VectorPairJoiner> joiner_;
+  JoinInput input_;
+  std::optional<PredictionMatrix> matrix_;
+  double eps_;
+  Norm norm_;
+};
+
+}  // namespace testing_util
+}  // namespace pmjoin
+
+#endif  // PMJOIN_TESTS_JOIN_TEST_UTIL_H_

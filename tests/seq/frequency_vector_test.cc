@@ -1,0 +1,108 @@
+#include "seq/frequency_vector.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "seq/edit_distance.h"
+#include "test_util.h"
+
+namespace pmjoin {
+namespace {
+
+using testing_util::RandomString;
+
+TEST(FrequencyVectorTest, CountsSymbols) {
+  const std::vector<uint8_t> w{0, 1, 1, 2, 2, 2};
+  const std::vector<uint32_t> freq = BuildFrequencyVector(w, 4);
+  EXPECT_EQ(freq, (std::vector<uint32_t>{1, 2, 3, 0}));
+}
+
+TEST(FrequencyVectorTest, FrequencyDistanceOfEqualIsZero) {
+  Rng rng(3);
+  const auto w = RandomString(&rng, 40, 4);
+  const auto f = BuildFrequencyVector(w, 4);
+  EXPECT_EQ(FrequencyDistance(f, f), 0u);
+}
+
+TEST(FrequencyVectorTest, FrequencyDistanceKnown) {
+  const std::vector<uint32_t> u{4, 0, 0, 0};
+  const std::vector<uint32_t> v{0, 4, 0, 0};
+  // L1 = 8, FD = 4 (four substitutions needed).
+  EXPECT_EQ(FrequencyDistance(u, v), 4u);
+}
+
+TEST(FrequencyVectorTest, LowerBoundsEditDistanceProperty) {
+  // The MRS-index contract (Table 1): FD(freq(x), freq(y)) <= ED(x, y)
+  // for equal-length windows. This is the correctness basis for string
+  // prediction-matrix marking.
+  Rng rng(5);
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t len = 4 + rng.Uniform(30);
+    const auto x = RandomString(&rng, len, 4);
+    const auto y = RandomString(&rng, len, 4);
+    const uint32_t fd = FrequencyDistance(BuildFrequencyVector(x, 4),
+                                          BuildFrequencyVector(y, 4));
+    EXPECT_LE(fd, EditDistance(x, y));
+  }
+}
+
+TEST(FrequencyVectorTest, LowerBoundTightForPureSubstitutions) {
+  // x = all zeros, y = k ones: ED = k = FD.
+  for (uint32_t k = 0; k <= 10; ++k) {
+    std::vector<uint8_t> x(20, 0), y(20, 0);
+    for (uint32_t i = 0; i < k; ++i) y[i] = 1;
+    const uint32_t fd = FrequencyDistance(BuildFrequencyVector(x, 4),
+                                          BuildFrequencyVector(y, 4));
+    EXPECT_EQ(fd, k);
+    EXPECT_EQ(EditDistance(x, y), k);
+  }
+}
+
+class FreqPairTrackerTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(FreqPairTrackerTest, MatchesRecomputationWhileSliding) {
+  const uint32_t alphabet = GetParam();
+  Rng rng(7 + alphabet);
+  const size_t L = 12;
+  const auto x = RandomString(&rng, 100, alphabet);
+  const auto y = RandomString(&rng, 100, alphabet);
+  FreqPairTracker tracker(std::span<const uint8_t>(x).subspan(0, L),
+                          std::span<const uint8_t>(y).subspan(0, L),
+                          alphabet);
+  for (size_t t = 0;; ++t) {
+    const auto fx = BuildFrequencyVector(
+        std::span<const uint8_t>(x).subspan(t, L), alphabet);
+    const auto fy = BuildFrequencyVector(
+        std::span<const uint8_t>(y).subspan(t, L), alphabet);
+    uint32_t l1 = 0;
+    for (size_t c = 0; c < alphabet; ++c)
+      l1 += static_cast<uint32_t>(
+          std::abs(int64_t(fx[c]) - int64_t(fy[c])));
+    EXPECT_EQ(tracker.L1(), l1) << "offset " << t;
+    EXPECT_EQ(tracker.FrequencyDist(), (l1 + 1) / 2);
+    if (t + L + 1 > x.size()) break;
+    tracker.Slide(x[t], x[t + L], y[t], y[t + L]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphabets, FreqPairTrackerTest,
+                         ::testing::Values(2, 4, 8, 26));
+
+TEST(FreqPairTrackerTest, IdenticalWindowsStayZero) {
+  Rng rng(11);
+  const auto x = RandomString(&rng, 50, 4);
+  const size_t L = 10;
+  FreqPairTracker tracker(std::span<const uint8_t>(x).subspan(0, L),
+                          std::span<const uint8_t>(x).subspan(0, L), 4);
+  EXPECT_EQ(tracker.L1(), 0u);
+  for (size_t t = 0; t + L + 1 <= x.size(); ++t) {
+    tracker.Slide(x[t], x[t + L], x[t], x[t + L]);
+    EXPECT_EQ(tracker.L1(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace pmjoin

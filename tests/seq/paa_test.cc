@@ -1,0 +1,113 @@
+#include "seq/paa.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geom/distance.h"
+#include "test_util.h"
+
+namespace pmjoin {
+namespace {
+
+using testing_util::RandomSeries;
+
+TEST(PaaTest, SegmentMeans) {
+  const std::vector<float> w{1.0f, 3.0f, 5.0f, 7.0f};
+  const std::vector<float> paa = Paa(w, 2);
+  ASSERT_EQ(paa.size(), 2u);
+  EXPECT_FLOAT_EQ(paa[0], 2.0f);
+  EXPECT_FLOAT_EQ(paa[1], 6.0f);
+}
+
+TEST(PaaTest, FullResolutionIsIdentity) {
+  Rng rng(3);
+  const auto w = RandomSeries(&rng, 16);
+  const std::vector<float> paa = Paa(w, 16);
+  for (size_t i = 0; i < w.size(); ++i) EXPECT_FLOAT_EQ(paa[i], w[i]);
+}
+
+TEST(PaaTest, SingleSegmentIsMean) {
+  const std::vector<float> w{2.0f, 4.0f, 6.0f, 8.0f};
+  const std::vector<float> paa = Paa(w, 1);
+  EXPECT_FLOAT_EQ(paa[0], 5.0f);
+}
+
+TEST(PaaTest, ScaleFactor) {
+  EXPECT_DOUBLE_EQ(PaaScale(16, 4), 2.0);
+  EXPECT_DOUBLE_EQ(PaaScale(8, 8), 1.0);
+}
+
+class PaaContractionTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(PaaContractionTest, LowerBoundsTrueDistance) {
+  // The MR-index contract: sqrt(L/f)·||PAA(x)−PAA(y)||₂ <= ||x−y||₂.
+  // This makes PAA-MBR MINDIST a valid page-level predictor (Theorem 1
+  // for time-series pages).
+  const auto [L, f] = GetParam();
+  Rng rng(11 + L + f);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto x = RandomSeries(&rng, L);
+    const auto y = RandomSeries(&rng, L);
+    const auto px = Paa(x, f);
+    const auto py = Paa(y, f);
+    const double feature = VectorDistance(px, py, Norm::kL2);
+    const double raw = VectorDistance(x, y, Norm::kL2);
+    EXPECT_LE(PaaScale(L, f) * feature, raw + 1e-5)
+        << "L=" << L << " f=" << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PaaContractionTest,
+    ::testing::Values(std::make_pair<size_t, size_t>(8, 2),
+                      std::make_pair<size_t, size_t>(16, 4),
+                      std::make_pair<size_t, size_t>(32, 8),
+                      std::make_pair<size_t, size_t>(64, 8),
+                      std::make_pair<size_t, size_t>(32, 32)));
+
+TEST(PaaTest, ContractionTightForConstantShift) {
+  // x and y differing by a constant: PAA preserves the full distance.
+  const size_t L = 16, f = 4;
+  std::vector<float> x(L, 1.0f), y(L, 3.0f);
+  const double feature = VectorDistance(Paa(x, f), Paa(y, f), Norm::kL2);
+  const double raw = VectorDistance(x, y, Norm::kL2);
+  EXPECT_NEAR(PaaScale(L, f) * feature, raw, 1e-5);
+}
+
+TEST(SlidingL2TrackerTest, MatchesRecomputation) {
+  Rng rng(17);
+  const auto x = RandomSeries(&rng, 120);
+  const auto y = RandomSeries(&rng, 120);
+  const size_t L = 16;
+  SlidingL2Tracker tracker(std::span<const float>(x).subspan(0, L),
+                           std::span<const float>(y).subspan(0, L));
+  for (size_t t = 0;; ++t) {
+    double expected = 0.0;
+    for (size_t i = 0; i < L; ++i) {
+      const double d = double(x[t + i]) - y[t + i];
+      expected += d * d;
+    }
+    EXPECT_NEAR(tracker.SquaredDistance(), expected, 1e-6) << "t=" << t;
+    if (t + L + 1 > x.size()) break;
+    tracker.Slide(x[t], x[t + L], y[t], y[t + L]);
+  }
+}
+
+TEST(SlidingL2TrackerTest, IdenticalWindowsZero) {
+  Rng rng(19);
+  const auto x = RandomSeries(&rng, 60);
+  const size_t L = 8;
+  SlidingL2Tracker tracker(std::span<const float>(x).subspan(0, L),
+                           std::span<const float>(x).subspan(0, L));
+  for (size_t t = 0; t + L + 1 <= x.size(); ++t) {
+    tracker.Slide(x[t], x[t + L], x[t], x[t + L]);
+    EXPECT_NEAR(tracker.SquaredDistance(), 0.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace pmjoin

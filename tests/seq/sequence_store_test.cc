@@ -1,0 +1,362 @@
+#include "seq/sequence_store.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geom/distance.h"
+#include "seq/edit_distance.h"
+#include "seq/frequency_vector.h"
+#include "seq/paa.h"
+#include "test_util.h"
+
+namespace pmjoin {
+namespace {
+
+using testing_util::RandomSeries;
+using testing_util::RandomString;
+
+TEST(SequenceLayoutTest, WindowArithmetic) {
+  SequenceLayout layout;
+  layout.num_symbols = 100;
+  layout.window_len = 10;
+  layout.windows_per_page = 25;
+  EXPECT_EQ(layout.NumWindows(), 91u);
+  EXPECT_EQ(layout.NumPages(), 4u);
+  EXPECT_EQ(layout.FirstWindow(0), 0u);
+  EXPECT_EQ(layout.FirstWindow(3), 75u);
+  EXPECT_EQ(layout.WindowCount(0), 25u);
+  EXPECT_EQ(layout.WindowCount(3), 16u);  // 91 − 75.
+  EXPECT_EQ(layout.PageOfWindow(0), 0u);
+  EXPECT_EQ(layout.PageOfWindow(74), 2u);
+  EXPECT_EQ(layout.PageOfWindow(75), 3u);
+}
+
+TEST(SequenceLayoutTest, ShortSequence) {
+  SequenceLayout layout;
+  layout.num_symbols = 5;
+  layout.window_len = 10;
+  layout.windows_per_page = 4;
+  EXPECT_EQ(layout.NumWindows(), 0u);
+}
+
+TEST(StringSequenceStoreTest, BuildValidation) {
+  SimulatedDisk disk;
+  EXPECT_FALSE(StringSequenceStore::Build(&disk, "x", {0, 1, 2}, 4, 10, 64)
+                   .ok());  // Too short.
+  EXPECT_FALSE(StringSequenceStore::Build(&disk, "x", {0, 1, 2, 3}, 4, 4, 3)
+                   .ok());  // Page too small.
+  EXPECT_FALSE(StringSequenceStore::Build(&disk, "x", {0, 9}, 4, 1, 64)
+                   .ok());  // Symbol outside alphabet.
+}
+
+TEST(StringSequenceStoreTest, LayoutAndFile) {
+  SimulatedDisk disk;
+  Rng rng(3);
+  auto symbols = RandomString(&rng, 500, 4);
+  auto store = StringSequenceStore::Build(&disk, "dna", std::move(symbols),
+                                          4, 16, 64);
+  ASSERT_TRUE(store.ok());
+  const SequenceLayout& layout = store->layout();
+  EXPECT_EQ(layout.window_len, 16u);
+  EXPECT_EQ(layout.windows_per_page, 64u - 15u);
+  EXPECT_EQ(disk.file(store->file_id()).num_pages, layout.NumPages());
+}
+
+TEST(StringSequenceStoreTest, PageMbrCoversAllWindowFrequencies) {
+  SimulatedDisk disk;
+  Rng rng(5);
+  auto symbols = RandomString(&rng, 400, 4);
+  auto store = StringSequenceStore::Build(&disk, "dna", symbols, 4, 12, 48);
+  ASSERT_TRUE(store.ok());
+  const SequenceLayout& layout = store->layout();
+  for (uint32_t p = 0; p < layout.NumPages(); ++p) {
+    const Mbr& mbr = store->PageMbr(p);
+    for (uint64_t w = layout.FirstWindow(p);
+         w < layout.FirstWindow(p) + layout.WindowCount(p); ++w) {
+      const auto freq = BuildFrequencyVector(
+          std::span<const uint8_t>(symbols).subspan(w, 12), 4);
+      std::vector<float> point(freq.begin(), freq.end());
+      EXPECT_TRUE(mbr.Contains(point)) << "page " << p << " window " << w;
+    }
+  }
+}
+
+TEST(StringSequenceStoreTest, PageLowerBoundHolds) {
+  // PageLowerBound(p, q) <= ED(x, y) for every window pair (x in p, y in
+  // q): the Theorem-1 premise for string pages.
+  SimulatedDisk disk;
+  Rng rng(7);
+  auto symbols = RandomString(&rng, 200, 4);
+  const uint32_t L = 8;
+  auto store = StringSequenceStore::Build(&disk, "dna", symbols, 4, L, 40);
+  ASSERT_TRUE(store.ok());
+  const SequenceLayout& layout = store->layout();
+  for (uint32_t p = 0; p < layout.NumPages(); ++p) {
+    for (uint32_t q = 0; q < layout.NumPages(); ++q) {
+      const double lb = store->PageLowerBound(p, *store, q);
+      for (uint64_t x = layout.FirstWindow(p);
+           x < layout.FirstWindow(p) + layout.WindowCount(p); x += 3) {
+        for (uint64_t y = layout.FirstWindow(q);
+             y < layout.FirstWindow(q) + layout.WindowCount(q); y += 3) {
+          const size_t ed = EditDistance(
+              std::span<const uint8_t>(symbols).subspan(x, L),
+              std::span<const uint8_t>(symbols).subspan(y, L));
+          EXPECT_LE(lb, double(ed) + 1e-9)
+              << "pages " << p << "," << q << " windows " << x << "," << y;
+        }
+      }
+    }
+  }
+}
+
+TEST(TimeSeriesStoreTest, BuildValidation) {
+  SimulatedDisk disk;
+  std::vector<float> series(100, 1.0f);
+  EXPECT_FALSE(
+      TimeSeriesStore::Build(&disk, "t", series, 10, 3, 4096).ok());
+  EXPECT_FALSE(TimeSeriesStore::Build(&disk, "t", {1.0f, 2.0f}, 10, 2, 4096)
+                   .ok());
+}
+
+TEST(TimeSeriesStoreTest, PageMbrCoversAllWindowFeatures) {
+  SimulatedDisk disk;
+  Rng rng(11);
+  auto series = RandomSeries(&rng, 300);
+  const uint32_t L = 16, f = 4;
+  auto store =
+      TimeSeriesStore::Build(&disk, "ts", series, L, f, 60 * sizeof(float));
+  ASSERT_TRUE(store.ok());
+  const SequenceLayout& layout = store->layout();
+  for (uint32_t p = 0; p < layout.NumPages(); ++p) {
+    const Mbr& mbr = store->PageMbr(p);
+    for (uint64_t w = layout.FirstWindow(p);
+         w < layout.FirstWindow(p) + layout.WindowCount(p); ++w) {
+      const auto feat =
+          Paa(std::span<const float>(series).subspan(w, L), f);
+      // Prefix-sum computation may differ from direct means by FP noise.
+      for (size_t d = 0; d < f; ++d) {
+        EXPECT_GE(feat[d], mbr.lo(d) - 1e-4);
+        EXPECT_LE(feat[d], mbr.hi(d) + 1e-4);
+      }
+    }
+  }
+}
+
+TEST(TimeSeriesStoreTest, PageLowerBoundHolds) {
+  SimulatedDisk disk;
+  Rng rng(13);
+  auto series = RandomSeries(&rng, 200);
+  const uint32_t L = 8, f = 4;
+  auto store =
+      TimeSeriesStore::Build(&disk, "ts", series, L, f, 30 * sizeof(float));
+  ASSERT_TRUE(store.ok());
+  const SequenceLayout& layout = store->layout();
+  for (uint32_t p = 0; p < layout.NumPages(); ++p) {
+    for (uint32_t q = 0; q < layout.NumPages(); ++q) {
+      const double lb = store->PageLowerBound(p, *store, q);
+      for (uint64_t x = layout.FirstWindow(p);
+           x < layout.FirstWindow(p) + layout.WindowCount(p); x += 2) {
+        for (uint64_t y = layout.FirstWindow(q);
+             y < layout.FirstWindow(q) + layout.WindowCount(q); y += 2) {
+          const double raw = VectorDistance(
+              std::span<const float>(series).subspan(x, L),
+              std::span<const float>(series).subspan(y, L), Norm::kL2);
+          EXPECT_LE(lb, raw + 1e-3)
+              << "pages " << p << "," << q << " windows " << x << "," << y;
+        }
+      }
+    }
+  }
+}
+
+TEST(TimeSeriesStoreTest, LastPageShortButCovered) {
+  SimulatedDisk disk;
+  Rng rng(17);
+  auto series = RandomSeries(&rng, 101);
+  auto store =
+      TimeSeriesStore::Build(&disk, "ts", series, 8, 4, 40 * sizeof(float));
+  ASSERT_TRUE(store.ok());
+  const SequenceLayout& layout = store->layout();
+  uint64_t covered = 0;
+  for (uint32_t p = 0; p < layout.NumPages(); ++p)
+    covered += layout.WindowCount(p);
+  EXPECT_EQ(covered, layout.NumWindows());
+}
+
+
+TEST(SequenceLayoutTest, SubBoxArithmetic) {
+  SequenceLayout layout;
+  layout.num_symbols = 1000;
+  layout.window_len = 10;
+  layout.windows_per_page = 150;
+  layout.windows_per_sub_box = 64;
+  // 991 windows, 7 pages; full pages have ceil(150/64) = 3 sub-boxes.
+  ASSERT_EQ(layout.NumPages(), 7u);
+  EXPECT_EQ(layout.SubBoxCount(0), 3u);
+  EXPECT_EQ(layout.SubBoxWindowCount(0, 0), 64u);
+  EXPECT_EQ(layout.SubBoxWindowCount(0, 1), 64u);
+  EXPECT_EQ(layout.SubBoxWindowCount(0, 2), 22u);
+  EXPECT_EQ(layout.SubBoxFirstWindow(1, 1), 150u + 64u);
+  // Last page holds 991 - 6*150 = 91 windows -> 2 sub-boxes.
+  EXPECT_EQ(layout.WindowCount(6), 91u);
+  EXPECT_EQ(layout.SubBoxCount(6), 2u);
+  EXPECT_EQ(layout.SubBoxWindowCount(6, 1), 27u);
+}
+
+TEST(SequenceLayoutTest, SubBoxesPartitionPageWindows) {
+  SequenceLayout layout;
+  layout.num_symbols = 5000;
+  layout.window_len = 37;
+  layout.windows_per_page = 201;
+  layout.windows_per_sub_box = 64;
+  for (uint32_t p = 0; p < layout.NumPages(); ++p) {
+    uint64_t covered = 0;
+    uint64_t expected_start = layout.FirstWindow(p);
+    for (uint32_t b = 0; b < layout.SubBoxCount(p); ++b) {
+      EXPECT_EQ(layout.SubBoxFirstWindow(p, b), expected_start);
+      const uint32_t count = layout.SubBoxWindowCount(p, b);
+      EXPECT_GT(count, 0u);
+      covered += count;
+      expected_start += count;
+    }
+    EXPECT_EQ(covered, layout.WindowCount(p));
+  }
+}
+
+TEST(StringSequenceStoreTest, SubBoxMbrsCoverTheirWindows) {
+  SimulatedDisk disk;
+  Rng rng(41);
+  auto symbols = RandomString(&rng, 600, 4);
+  const uint32_t L = 10;
+  auto store = StringSequenceStore::Build(&disk, "dna", symbols, 4, L, 80);
+  ASSERT_TRUE(store.ok());
+  const SequenceLayout& layout = store->layout();
+  for (uint32_t p = 0; p < layout.NumPages(); ++p) {
+    for (uint32_t b = 0; b < layout.SubBoxCount(p); ++b) {
+      const Mbr& sub = store->SubBoxMbr(p, b);
+      // Sub-box nested in the page box.
+      EXPECT_TRUE(store->PageMbr(p).Contains(sub));
+      const uint64_t first = layout.SubBoxFirstWindow(p, b);
+      for (uint64_t w = first; w < first + layout.SubBoxWindowCount(p, b);
+           ++w) {
+        const auto freq = BuildFrequencyVector(
+            std::span<const uint8_t>(symbols).subspan(w, L), 4);
+        std::vector<float> point(freq.begin(), freq.end());
+        EXPECT_TRUE(sub.Contains(point)) << "p" << p << " b" << b;
+      }
+    }
+  }
+}
+
+TEST(TimeSeriesStoreTest, SubBoxMbrsCoverTheirWindows) {
+  SimulatedDisk disk;
+  Rng rng(43);
+  auto series = RandomSeries(&rng, 700);
+  const uint32_t L = 16, f = 4;
+  auto store =
+      TimeSeriesStore::Build(&disk, "ts", series, L, f, 90 * sizeof(float));
+  ASSERT_TRUE(store.ok());
+  const SequenceLayout& layout = store->layout();
+  for (uint32_t p = 0; p < layout.NumPages(); ++p) {
+    for (uint32_t b = 0; b < layout.SubBoxCount(p); ++b) {
+      const Mbr& sub = store->SubBoxMbr(p, b);
+      EXPECT_TRUE(store->PageMbr(p).Contains(sub));
+      const uint64_t first = layout.SubBoxFirstWindow(p, b);
+      for (uint64_t w = first; w < first + layout.SubBoxWindowCount(p, b);
+           ++w) {
+        const auto feat =
+            Paa(std::span<const float>(series).subspan(w, L), f);
+        for (size_t d = 0; d < f; ++d) {
+          EXPECT_GE(feat[d], sub.lo(d) - 1e-4);
+          EXPECT_LE(feat[d], sub.hi(d) + 1e-4);
+        }
+      }
+    }
+  }
+}
+
+
+TEST(SequenceLayoutTest, CoarseBoxArithmetic) {
+  SequenceLayout layout;
+  layout.num_symbols = 3000;
+  layout.window_len = 10;
+  layout.windows_per_page = 600;
+  layout.windows_per_sub_box = 64;
+  layout.windows_per_coarse_box = 256;
+  EXPECT_EQ(layout.FinePerCoarse(), 4u);
+  // Full page: 600 windows -> 10 fine boxes, 3 coarse boxes.
+  EXPECT_EQ(layout.SubBoxCount(0), 10u);
+  EXPECT_EQ(layout.CoarseBoxCount(0), 3u);
+  uint32_t lo, hi;
+  layout.CoarseToFine(0, 0, &lo, &hi);
+  EXPECT_EQ(lo, 0u);
+  EXPECT_EQ(hi, 4u);
+  layout.CoarseToFine(0, 2, &lo, &hi);
+  EXPECT_EQ(lo, 8u);
+  EXPECT_EQ(hi, 10u);  // Clamped to the fine-box count.
+}
+
+TEST(SequenceLayoutTest, CoarseBoxesCoverAllFineBoxes) {
+  SequenceLayout layout;
+  layout.num_symbols = 7777;
+  layout.window_len = 21;
+  layout.windows_per_page = 500;
+  for (uint32_t p = 0; p < layout.NumPages(); ++p) {
+    uint32_t covered = 0;
+    for (uint32_t cb = 0; cb < layout.CoarseBoxCount(p); ++cb) {
+      uint32_t lo, hi;
+      layout.CoarseToFine(p, cb, &lo, &hi);
+      EXPECT_EQ(lo, covered);
+      EXPECT_GT(hi, lo);
+      covered = hi;
+    }
+    EXPECT_EQ(covered, layout.SubBoxCount(p));
+  }
+}
+
+TEST(StringSequenceStoreTest, CoarseBoxesContainTheirFineBoxes) {
+  SimulatedDisk disk;
+  Rng rng(47);
+  auto symbols = RandomString(&rng, 1200, 4);
+  auto store = StringSequenceStore::Build(&disk, "dna", symbols, 4, 10,
+                                          400);
+  ASSERT_TRUE(store.ok());
+  const SequenceLayout& layout = store->layout();
+  for (uint32_t p = 0; p < layout.NumPages(); ++p) {
+    for (uint32_t cb = 0; cb < layout.CoarseBoxCount(p); ++cb) {
+      const Mbr& coarse = store->CoarseBoxMbr(p, cb);
+      EXPECT_TRUE(store->PageMbr(p).Contains(coarse));
+      uint32_t lo, hi;
+      layout.CoarseToFine(p, cb, &lo, &hi);
+      for (uint32_t b = lo; b < hi; ++b) {
+        EXPECT_TRUE(coarse.Contains(store->SubBoxMbr(p, b)))
+            << "p" << p << " cb" << cb << " b" << b;
+      }
+    }
+  }
+}
+
+TEST(TimeSeriesStoreTest, CoarseBoxesContainTheirFineBoxes) {
+  SimulatedDisk disk;
+  Rng rng(53);
+  auto series = RandomSeries(&rng, 1500);
+  auto store = TimeSeriesStore::Build(&disk, "ts", series, 16, 4,
+                                      420 * sizeof(float));
+  ASSERT_TRUE(store.ok());
+  const SequenceLayout& layout = store->layout();
+  for (uint32_t p = 0; p < layout.NumPages(); ++p) {
+    for (uint32_t cb = 0; cb < layout.CoarseBoxCount(p); ++cb) {
+      const Mbr& coarse = store->CoarseBoxMbr(p, cb);
+      uint32_t lo, hi;
+      layout.CoarseToFine(p, cb, &lo, &hi);
+      for (uint32_t b = lo; b < hi; ++b) {
+        EXPECT_TRUE(coarse.Contains(store->SubBoxMbr(p, b)));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pmjoin

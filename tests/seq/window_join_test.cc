@@ -1,0 +1,190 @@
+#include "seq/window_join.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/reference_join.h"
+#include "test_util.h"
+
+namespace pmjoin {
+namespace {
+
+using testing_util::RandomSeries;
+using testing_util::RandomString;
+using testing_util::SortedPairs;
+
+/// Filters a reference result down to a window-range rectangle.
+std::vector<std::pair<uint64_t, uint64_t>> Restrict(
+    const std::vector<std::pair<uint64_t, uint64_t>>& pairs, WindowRange xr,
+    WindowRange yr) {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  for (const auto& [x, y] : pairs) {
+    if (x >= xr.first && x < xr.first + xr.count && y >= yr.first &&
+        y < yr.first + yr.count) {
+      out.push_back({x, y});
+    }
+  }
+  return out;
+}
+
+TEST(TimeSeriesWindowJoinTest, MatchesReferenceFullRange) {
+  Rng rng(3);
+  const auto x = RandomSeries(&rng, 80);
+  const auto y = RandomSeries(&rng, 60);
+  const uint32_t L = 8;
+  const double eps = 0.8;
+
+  WindowJoinOptions options;
+  options.window_len = L;
+  CollectingSink kernel_sink;
+  JoinTimeSeriesWindows(x, y, {0, uint32_t(x.size() - L + 1)},
+                        {0, uint32_t(y.size() - L + 1)}, options, eps,
+                        &kernel_sink, nullptr);
+
+  CollectingSink ref_sink;
+  ReferenceTimeSeriesJoin(x, y, L, eps, /*self_join=*/false, &ref_sink);
+  EXPECT_EQ(SortedPairs(kernel_sink), SortedPairs(ref_sink));
+  EXPECT_GT(kernel_sink.pairs().size(), 0u);  // Sanity: non-trivial test.
+}
+
+TEST(TimeSeriesWindowJoinTest, MatchesReferenceOnSubRanges) {
+  Rng rng(5);
+  const auto x = RandomSeries(&rng, 100);
+  const auto y = RandomSeries(&rng, 100);
+  const uint32_t L = 10;
+  const double eps = 0.9;
+
+  CollectingSink ref_sink;
+  ReferenceTimeSeriesJoin(x, y, L, eps, false, &ref_sink);
+  const auto ref = SortedPairs(ref_sink);
+
+  WindowJoinOptions options;
+  options.window_len = L;
+  for (int trial = 0; trial < 20; ++trial) {
+    const uint64_t nx = x.size() - L + 1;
+    const uint64_t ny = y.size() - L + 1;
+    WindowRange xr{rng.Uniform(nx),
+                   static_cast<uint32_t>(1 + rng.Uniform(30))};
+    WindowRange yr{rng.Uniform(ny),
+                   static_cast<uint32_t>(1 + rng.Uniform(30))};
+    xr.count = static_cast<uint32_t>(
+        std::min<uint64_t>(xr.count, nx - xr.first));
+    yr.count = static_cast<uint32_t>(
+        std::min<uint64_t>(yr.count, ny - yr.first));
+    CollectingSink sink;
+    JoinTimeSeriesWindows(x, y, xr, yr, options, eps, &sink, nullptr);
+    EXPECT_EQ(SortedPairs(sink), Restrict(ref, xr, yr));
+  }
+}
+
+TEST(TimeSeriesWindowJoinTest, SelfJoinExcludesOverlaps) {
+  Rng rng(7);
+  const auto x = RandomSeries(&rng, 90);
+  const uint32_t L = 8;
+  const double eps = 1.2;
+
+  WindowJoinOptions options;
+  options.window_len = L;
+  options.self_join = true;
+  const uint32_t n = static_cast<uint32_t>(x.size() - L + 1);
+  CollectingSink sink;
+  JoinTimeSeriesWindows(x, x, {0, n}, {0, n}, options, eps, &sink, nullptr);
+  for (const auto& [a, b] : sink.pairs()) {
+    EXPECT_LE(a + L, b);
+  }
+  CollectingSink ref_sink;
+  ReferenceTimeSeriesJoin(x, x, L, eps, true, &ref_sink);
+  EXPECT_EQ(SortedPairs(sink), SortedPairs(ref_sink));
+}
+
+TEST(TimeSeriesWindowJoinTest, CountersCharged) {
+  Rng rng(9);
+  const auto x = RandomSeries(&rng, 50);
+  const uint32_t L = 8;
+  WindowJoinOptions options;
+  options.window_len = L;
+  CountingSink sink;
+  OpCounters ops;
+  const uint32_t n = static_cast<uint32_t>(x.size() - L + 1);
+  JoinTimeSeriesWindows(x, x, {0, n}, {0, n}, options, 0.5, &sink, &ops);
+  const uint64_t diagonals = 2 * uint64_t(n) - 1;
+  EXPECT_EQ(ops.distance_terms, diagonals * L);
+  EXPECT_EQ(ops.filter_checks, uint64_t(n) * n - diagonals);
+}
+
+TEST(StringWindowJoinTest, MatchesReferenceFullRange) {
+  Rng rng(11);
+  // Two related strings so there are actual matches at small k.
+  auto x = RandomString(&rng, 70, 4);
+  auto y = x;
+  for (int i = 0; i < 8; ++i)
+    y[rng.Uniform(y.size())] = static_cast<uint8_t>(rng.Uniform(4));
+  const uint32_t L = 10;
+  const uint32_t k = 2;
+
+  WindowJoinOptions options;
+  options.window_len = L;
+  CollectingSink sink;
+  JoinStringWindows(x, y, {0, uint32_t(x.size() - L + 1)},
+                    {0, uint32_t(y.size() - L + 1)}, options, k, 4, &sink,
+                    nullptr);
+
+  CollectingSink ref_sink;
+  ReferenceStringJoin(x, y, L, k, false, &ref_sink);
+  EXPECT_EQ(SortedPairs(sink), SortedPairs(ref_sink));
+  EXPECT_GT(sink.pairs().size(), 0u);
+}
+
+TEST(StringWindowJoinTest, SelfJoinMatchesReference) {
+  Rng rng(13);
+  // Plant a repeat so the self join is non-empty.
+  auto x = RandomString(&rng, 60, 4);
+  for (int i = 0; i < 12; ++i) x.push_back(x[i]);
+  const uint32_t L = 10;
+  const uint32_t k = 1;
+
+  WindowJoinOptions options;
+  options.window_len = L;
+  options.self_join = true;
+  const uint32_t n = static_cast<uint32_t>(x.size() - L + 1);
+  CollectingSink sink;
+  JoinStringWindows(x, x, {0, n}, {0, n}, options, k, 4, &sink, nullptr);
+
+  CollectingSink ref_sink;
+  ReferenceStringJoin(x, x, L, k, true, &ref_sink);
+  EXPECT_EQ(SortedPairs(sink), SortedPairs(ref_sink));
+  EXPECT_GT(sink.pairs().size(), 0u);
+}
+
+TEST(StringWindowJoinTest, ZeroEditsFindsExactRepeats) {
+  std::vector<uint8_t> x;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (uint8_t c : {0, 1, 2, 3, 0, 1, 2, 3}) x.push_back(c);
+  }
+  const uint32_t L = 8;
+  WindowJoinOptions options;
+  options.window_len = L;
+  options.self_join = true;
+  const uint32_t n = static_cast<uint32_t>(x.size() - L + 1);
+  CollectingSink sink;
+  JoinStringWindows(x, x, {0, n}, {0, n}, options, 0, 4, &sink, nullptr);
+  CollectingSink ref_sink;
+  ReferenceStringJoin(x, x, L, 0, true, &ref_sink);
+  EXPECT_EQ(SortedPairs(sink), SortedPairs(ref_sink));
+  EXPECT_GT(sink.pairs().size(), 0u);
+}
+
+TEST(StringWindowJoinTest, EmptyRangesProduceNothing) {
+  Rng rng(17);
+  const auto x = RandomString(&rng, 40, 4);
+  WindowJoinOptions options;
+  options.window_len = 8;
+  CollectingSink sink;
+  JoinStringWindows(x, x, {0, 0}, {0, 10}, options, 2, 4, &sink, nullptr);
+  EXPECT_TRUE(sink.pairs().empty());
+}
+
+}  // namespace
+}  // namespace pmjoin

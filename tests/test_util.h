@@ -1,0 +1,58 @@
+#ifndef PMJOIN_TESTS_TEST_UTIL_H_
+#define PMJOIN_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/pair_sink.h"
+#include "common/rng.h"
+#include "geom/mbr.h"
+
+namespace pmjoin {
+namespace testing_util {
+
+/// A random box in [0,1]^dims with side lengths up to `max_side`.
+inline Mbr RandomBox(Rng* rng, size_t dims, double max_side = 0.2) {
+  std::vector<float> lo(dims), hi(dims);
+  for (size_t d = 0; d < dims; ++d) {
+    const double a = rng->UniformDouble();
+    const double b = a + rng->UniformDouble() * max_side;
+    lo[d] = static_cast<float>(a);
+    hi[d] = static_cast<float>(b);
+  }
+  return Mbr::FromBounds(std::move(lo), std::move(hi));
+}
+
+/// A random point in [0,1]^dims.
+inline std::vector<float> RandomPoint(Rng* rng, size_t dims) {
+  std::vector<float> p(dims);
+  for (float& v : p) v = static_cast<float>(rng->UniformDouble());
+  return p;
+}
+
+/// Random symbol string over [0, alphabet).
+inline std::vector<uint8_t> RandomString(Rng* rng, size_t length,
+                                         uint32_t alphabet) {
+  std::vector<uint8_t> s(length);
+  for (uint8_t& c : s) c = static_cast<uint8_t>(rng->Uniform(alphabet));
+  return s;
+}
+
+/// Random float series in [0, 1).
+inline std::vector<float> RandomSeries(Rng* rng, size_t length) {
+  std::vector<float> s(length);
+  for (float& v : s) v = static_cast<float>(rng->UniformDouble());
+  return s;
+}
+
+/// Sorted, deduplicated pair list of a sink.
+inline std::vector<std::pair<uint64_t, uint64_t>> SortedPairs(
+    const CollectingSink& sink) {
+  return sink.Sorted();
+}
+
+}  // namespace testing_util
+}  // namespace pmjoin
+
+#endif  // PMJOIN_TESTS_TEST_UTIL_H_

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Concatenates the per-binary experiment outputs into bench_output.txt,
+# in the canonical figure/table order, with section banners. Equivalent to
+# running `for b in build/bench/*; do $b; done` and teeing, but keeps the
+# long-running binaries' outputs from the recorded definitive run.
+#
+# Usage: tools/assemble_bench_output.sh <outputs-dir> > bench_output.txt
+set -e
+dir="${1:-/tmp/benchout}"
+for b in bench_fig10_components bench_fig11_seq_components \
+         bench_fig12_buffer_sweep bench_table2_sc_vs_cc \
+         bench_fig13_competitors bench_fig14_scalability \
+         bench_microcost bench_ablation bench_kernels; do
+  echo "===================================================================="
+  echo "==== $b"
+  echo "===================================================================="
+  cat "$dir/$b.txt"
+  echo
+done

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_microcost.dir/bench_microcost.cc.o"
+  "CMakeFiles/bench_microcost.dir/bench_microcost.cc.o.d"
+  "bench_microcost"
+  "bench_microcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_microcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

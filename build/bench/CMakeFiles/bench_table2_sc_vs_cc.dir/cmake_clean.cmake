@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_sc_vs_cc.dir/bench_table2_sc_vs_cc.cc.o"
+  "CMakeFiles/bench_table2_sc_vs_cc.dir/bench_table2_sc_vs_cc.cc.o.d"
+  "bench_table2_sc_vs_cc"
+  "bench_table2_sc_vs_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_sc_vs_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

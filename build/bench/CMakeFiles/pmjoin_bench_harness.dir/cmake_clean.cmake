@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libpmjoin_bench_harness.a"
+  "../lib/libpmjoin_bench_harness.pdb"
+  "CMakeFiles/pmjoin_bench_harness.dir/harness/bench_util.cc.o"
+  "CMakeFiles/pmjoin_bench_harness.dir/harness/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmjoin_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libpmjoin_bench_harness.a"
+)

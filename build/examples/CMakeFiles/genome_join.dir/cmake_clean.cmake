@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genome_join.dir/genome_join.cpp.o"
+  "CMakeFiles/genome_join.dir/genome_join.cpp.o.d"
+  "genome_join"
+  "genome_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genome_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmjoin_cli.dir/pmjoin_cli.cpp.o"
+  "CMakeFiles/pmjoin_cli.dir/pmjoin_cli.cpp.o.d"
+  "pmjoin_cli"
+  "pmjoin_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmjoin_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_join_gis.dir/spatial_join_gis.cpp.o"
+  "CMakeFiles/spatial_join_gis.dir/spatial_join_gis.cpp.o.d"
+  "spatial_join_gis"
+  "spatial_join_gis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_join_gis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

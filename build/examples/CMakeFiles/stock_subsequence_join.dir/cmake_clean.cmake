@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stock_subsequence_join.dir/stock_subsequence_join.cpp.o"
+  "CMakeFiles/stock_subsequence_join.dir/stock_subsequence_join.cpp.o.d"
+  "stock_subsequence_join"
+  "stock_subsequence_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stock_subsequence_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

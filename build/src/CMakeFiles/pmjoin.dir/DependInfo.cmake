@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bfrj.cc" "src/CMakeFiles/pmjoin.dir/baselines/bfrj.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/baselines/bfrj.cc.o.d"
+  "/root/repo/src/baselines/block_nlj.cc" "src/CMakeFiles/pmjoin.dir/baselines/block_nlj.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/baselines/block_nlj.cc.o.d"
+  "/root/repo/src/baselines/ego.cc" "src/CMakeFiles/pmjoin.dir/baselines/ego.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/baselines/ego.cc.o.d"
+  "/root/repo/src/baselines/pbsm.cc" "src/CMakeFiles/pmjoin.dir/baselines/pbsm.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/baselines/pbsm.cc.o.d"
+  "/root/repo/src/common/cost_model.cc" "src/CMakeFiles/pmjoin.dir/common/cost_model.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/common/cost_model.cc.o.d"
+  "/root/repo/src/common/op_counters.cc" "src/CMakeFiles/pmjoin.dir/common/op_counters.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/common/op_counters.cc.o.d"
+  "/root/repo/src/common/pair_sink.cc" "src/CMakeFiles/pmjoin.dir/common/pair_sink.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/common/pair_sink.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/pmjoin.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/pmjoin.dir/common/status.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/common/status.cc.o.d"
+  "/root/repo/src/core/cluster.cc" "src/CMakeFiles/pmjoin.dir/core/cluster.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/core/cluster.cc.o.d"
+  "/root/repo/src/core/cost_clustering.cc" "src/CMakeFiles/pmjoin.dir/core/cost_clustering.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/core/cost_clustering.cc.o.d"
+  "/root/repo/src/core/executor.cc" "src/CMakeFiles/pmjoin.dir/core/executor.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/core/executor.cc.o.d"
+  "/root/repo/src/core/join_driver.cc" "src/CMakeFiles/pmjoin.dir/core/join_driver.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/core/join_driver.cc.o.d"
+  "/root/repo/src/core/joiners.cc" "src/CMakeFiles/pmjoin.dir/core/joiners.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/core/joiners.cc.o.d"
+  "/root/repo/src/core/plane_sweep.cc" "src/CMakeFiles/pmjoin.dir/core/plane_sweep.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/core/plane_sweep.cc.o.d"
+  "/root/repo/src/core/pm_nlj.cc" "src/CMakeFiles/pmjoin.dir/core/pm_nlj.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/core/pm_nlj.cc.o.d"
+  "/root/repo/src/core/prediction_matrix.cc" "src/CMakeFiles/pmjoin.dir/core/prediction_matrix.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/core/prediction_matrix.cc.o.d"
+  "/root/repo/src/core/reference_join.cc" "src/CMakeFiles/pmjoin.dir/core/reference_join.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/core/reference_join.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/CMakeFiles/pmjoin.dir/core/scheduler.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/core/scheduler.cc.o.d"
+  "/root/repo/src/core/square_clustering.cc" "src/CMakeFiles/pmjoin.dir/core/square_clustering.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/core/square_clustering.cc.o.d"
+  "/root/repo/src/data/generators.cc" "src/CMakeFiles/pmjoin.dir/data/generators.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/data/generators.cc.o.d"
+  "/root/repo/src/data/sequence_dataset.cc" "src/CMakeFiles/pmjoin.dir/data/sequence_dataset.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/data/sequence_dataset.cc.o.d"
+  "/root/repo/src/data/vector_dataset.cc" "src/CMakeFiles/pmjoin.dir/data/vector_dataset.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/data/vector_dataset.cc.o.d"
+  "/root/repo/src/geom/distance.cc" "src/CMakeFiles/pmjoin.dir/geom/distance.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/geom/distance.cc.o.d"
+  "/root/repo/src/geom/mbr.cc" "src/CMakeFiles/pmjoin.dir/geom/mbr.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/geom/mbr.cc.o.d"
+  "/root/repo/src/index/rstar_tree.cc" "src/CMakeFiles/pmjoin.dir/index/rstar_tree.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/index/rstar_tree.cc.o.d"
+  "/root/repo/src/index/str_bulk_load.cc" "src/CMakeFiles/pmjoin.dir/index/str_bulk_load.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/index/str_bulk_load.cc.o.d"
+  "/root/repo/src/io/buffer_pool.cc" "src/CMakeFiles/pmjoin.dir/io/buffer_pool.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/io/buffer_pool.cc.o.d"
+  "/root/repo/src/io/disk_scheduler.cc" "src/CMakeFiles/pmjoin.dir/io/disk_scheduler.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/io/disk_scheduler.cc.o.d"
+  "/root/repo/src/io/external_sort.cc" "src/CMakeFiles/pmjoin.dir/io/external_sort.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/io/external_sort.cc.o.d"
+  "/root/repo/src/io/io_stats.cc" "src/CMakeFiles/pmjoin.dir/io/io_stats.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/io/io_stats.cc.o.d"
+  "/root/repo/src/io/page_file.cc" "src/CMakeFiles/pmjoin.dir/io/page_file.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/io/page_file.cc.o.d"
+  "/root/repo/src/io/simulated_disk.cc" "src/CMakeFiles/pmjoin.dir/io/simulated_disk.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/io/simulated_disk.cc.o.d"
+  "/root/repo/src/seq/edit_distance.cc" "src/CMakeFiles/pmjoin.dir/seq/edit_distance.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/seq/edit_distance.cc.o.d"
+  "/root/repo/src/seq/frequency_vector.cc" "src/CMakeFiles/pmjoin.dir/seq/frequency_vector.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/seq/frequency_vector.cc.o.d"
+  "/root/repo/src/seq/paa.cc" "src/CMakeFiles/pmjoin.dir/seq/paa.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/seq/paa.cc.o.d"
+  "/root/repo/src/seq/sequence_store.cc" "src/CMakeFiles/pmjoin.dir/seq/sequence_store.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/seq/sequence_store.cc.o.d"
+  "/root/repo/src/seq/window_join.cc" "src/CMakeFiles/pmjoin.dir/seq/window_join.cc.o" "gcc" "src/CMakeFiles/pmjoin.dir/seq/window_join.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

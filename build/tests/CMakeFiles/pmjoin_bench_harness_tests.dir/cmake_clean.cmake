@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmjoin_bench_harness_tests.dir/bench/bench_util_test.cc.o"
+  "CMakeFiles/pmjoin_bench_harness_tests.dir/bench/bench_util_test.cc.o.d"
+  "pmjoin_bench_harness_tests"
+  "pmjoin_bench_harness_tests.pdb"
+  "pmjoin_bench_harness_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmjoin_bench_harness_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/op_counters_test.cc" "tests/CMakeFiles/pmjoin_common_tests.dir/common/op_counters_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_common_tests.dir/common/op_counters_test.cc.o.d"
+  "/root/repo/tests/common/pair_sink_test.cc" "tests/CMakeFiles/pmjoin_common_tests.dir/common/pair_sink_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_common_tests.dir/common/pair_sink_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/pmjoin_common_tests.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_common_tests.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/pmjoin_common_tests.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_common_tests.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/geom/distance_test.cc" "tests/CMakeFiles/pmjoin_common_tests.dir/geom/distance_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_common_tests.dir/geom/distance_test.cc.o.d"
+  "/root/repo/tests/geom/mbr_test.cc" "tests/CMakeFiles/pmjoin_common_tests.dir/geom/mbr_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_common_tests.dir/geom/mbr_test.cc.o.d"
+  "/root/repo/tests/io/buffer_pool_test.cc" "tests/CMakeFiles/pmjoin_common_tests.dir/io/buffer_pool_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_common_tests.dir/io/buffer_pool_test.cc.o.d"
+  "/root/repo/tests/io/disk_scheduler_test.cc" "tests/CMakeFiles/pmjoin_common_tests.dir/io/disk_scheduler_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_common_tests.dir/io/disk_scheduler_test.cc.o.d"
+  "/root/repo/tests/io/external_sort_test.cc" "tests/CMakeFiles/pmjoin_common_tests.dir/io/external_sort_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_common_tests.dir/io/external_sort_test.cc.o.d"
+  "/root/repo/tests/io/simulated_disk_test.cc" "tests/CMakeFiles/pmjoin_common_tests.dir/io/simulated_disk_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_common_tests.dir/io/simulated_disk_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pmjoin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmjoin_common_tests.dir/common/op_counters_test.cc.o"
+  "CMakeFiles/pmjoin_common_tests.dir/common/op_counters_test.cc.o.d"
+  "CMakeFiles/pmjoin_common_tests.dir/common/pair_sink_test.cc.o"
+  "CMakeFiles/pmjoin_common_tests.dir/common/pair_sink_test.cc.o.d"
+  "CMakeFiles/pmjoin_common_tests.dir/common/rng_test.cc.o"
+  "CMakeFiles/pmjoin_common_tests.dir/common/rng_test.cc.o.d"
+  "CMakeFiles/pmjoin_common_tests.dir/common/status_test.cc.o"
+  "CMakeFiles/pmjoin_common_tests.dir/common/status_test.cc.o.d"
+  "CMakeFiles/pmjoin_common_tests.dir/geom/distance_test.cc.o"
+  "CMakeFiles/pmjoin_common_tests.dir/geom/distance_test.cc.o.d"
+  "CMakeFiles/pmjoin_common_tests.dir/geom/mbr_test.cc.o"
+  "CMakeFiles/pmjoin_common_tests.dir/geom/mbr_test.cc.o.d"
+  "CMakeFiles/pmjoin_common_tests.dir/io/buffer_pool_test.cc.o"
+  "CMakeFiles/pmjoin_common_tests.dir/io/buffer_pool_test.cc.o.d"
+  "CMakeFiles/pmjoin_common_tests.dir/io/disk_scheduler_test.cc.o"
+  "CMakeFiles/pmjoin_common_tests.dir/io/disk_scheduler_test.cc.o.d"
+  "CMakeFiles/pmjoin_common_tests.dir/io/external_sort_test.cc.o"
+  "CMakeFiles/pmjoin_common_tests.dir/io/external_sort_test.cc.o.d"
+  "CMakeFiles/pmjoin_common_tests.dir/io/simulated_disk_test.cc.o"
+  "CMakeFiles/pmjoin_common_tests.dir/io/simulated_disk_test.cc.o.d"
+  "pmjoin_common_tests"
+  "pmjoin_common_tests.pdb"
+  "pmjoin_common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmjoin_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/cost_clustering_test.cc" "tests/CMakeFiles/pmjoin_core_tests.dir/core/cost_clustering_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_core_tests.dir/core/cost_clustering_test.cc.o.d"
+  "/root/repo/tests/core/executor_test.cc" "tests/CMakeFiles/pmjoin_core_tests.dir/core/executor_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_core_tests.dir/core/executor_test.cc.o.d"
+  "/root/repo/tests/core/joiners_test.cc" "tests/CMakeFiles/pmjoin_core_tests.dir/core/joiners_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_core_tests.dir/core/joiners_test.cc.o.d"
+  "/root/repo/tests/core/plane_sweep_test.cc" "tests/CMakeFiles/pmjoin_core_tests.dir/core/plane_sweep_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_core_tests.dir/core/plane_sweep_test.cc.o.d"
+  "/root/repo/tests/core/pm_nlj_test.cc" "tests/CMakeFiles/pmjoin_core_tests.dir/core/pm_nlj_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_core_tests.dir/core/pm_nlj_test.cc.o.d"
+  "/root/repo/tests/core/prediction_matrix_test.cc" "tests/CMakeFiles/pmjoin_core_tests.dir/core/prediction_matrix_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_core_tests.dir/core/prediction_matrix_test.cc.o.d"
+  "/root/repo/tests/core/scheduler_test.cc" "tests/CMakeFiles/pmjoin_core_tests.dir/core/scheduler_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_core_tests.dir/core/scheduler_test.cc.o.d"
+  "/root/repo/tests/core/square_clustering_test.cc" "tests/CMakeFiles/pmjoin_core_tests.dir/core/square_clustering_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_core_tests.dir/core/square_clustering_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pmjoin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmjoin_core_tests.dir/core/cost_clustering_test.cc.o"
+  "CMakeFiles/pmjoin_core_tests.dir/core/cost_clustering_test.cc.o.d"
+  "CMakeFiles/pmjoin_core_tests.dir/core/executor_test.cc.o"
+  "CMakeFiles/pmjoin_core_tests.dir/core/executor_test.cc.o.d"
+  "CMakeFiles/pmjoin_core_tests.dir/core/joiners_test.cc.o"
+  "CMakeFiles/pmjoin_core_tests.dir/core/joiners_test.cc.o.d"
+  "CMakeFiles/pmjoin_core_tests.dir/core/plane_sweep_test.cc.o"
+  "CMakeFiles/pmjoin_core_tests.dir/core/plane_sweep_test.cc.o.d"
+  "CMakeFiles/pmjoin_core_tests.dir/core/pm_nlj_test.cc.o"
+  "CMakeFiles/pmjoin_core_tests.dir/core/pm_nlj_test.cc.o.d"
+  "CMakeFiles/pmjoin_core_tests.dir/core/prediction_matrix_test.cc.o"
+  "CMakeFiles/pmjoin_core_tests.dir/core/prediction_matrix_test.cc.o.d"
+  "CMakeFiles/pmjoin_core_tests.dir/core/scheduler_test.cc.o"
+  "CMakeFiles/pmjoin_core_tests.dir/core/scheduler_test.cc.o.d"
+  "CMakeFiles/pmjoin_core_tests.dir/core/square_clustering_test.cc.o"
+  "CMakeFiles/pmjoin_core_tests.dir/core/square_clustering_test.cc.o.d"
+  "pmjoin_core_tests"
+  "pmjoin_core_tests.pdb"
+  "pmjoin_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmjoin_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data/generators_test.cc" "tests/CMakeFiles/pmjoin_index_data_tests.dir/data/generators_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_index_data_tests.dir/data/generators_test.cc.o.d"
+  "/root/repo/tests/data/vector_dataset_test.cc" "tests/CMakeFiles/pmjoin_index_data_tests.dir/data/vector_dataset_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_index_data_tests.dir/data/vector_dataset_test.cc.o.d"
+  "/root/repo/tests/index/rstar_tree_test.cc" "tests/CMakeFiles/pmjoin_index_data_tests.dir/index/rstar_tree_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_index_data_tests.dir/index/rstar_tree_test.cc.o.d"
+  "/root/repo/tests/index/str_bulk_load_test.cc" "tests/CMakeFiles/pmjoin_index_data_tests.dir/index/str_bulk_load_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_index_data_tests.dir/index/str_bulk_load_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pmjoin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmjoin_index_data_tests.dir/data/generators_test.cc.o"
+  "CMakeFiles/pmjoin_index_data_tests.dir/data/generators_test.cc.o.d"
+  "CMakeFiles/pmjoin_index_data_tests.dir/data/vector_dataset_test.cc.o"
+  "CMakeFiles/pmjoin_index_data_tests.dir/data/vector_dataset_test.cc.o.d"
+  "CMakeFiles/pmjoin_index_data_tests.dir/index/rstar_tree_test.cc.o"
+  "CMakeFiles/pmjoin_index_data_tests.dir/index/rstar_tree_test.cc.o.d"
+  "CMakeFiles/pmjoin_index_data_tests.dir/index/str_bulk_load_test.cc.o"
+  "CMakeFiles/pmjoin_index_data_tests.dir/index/str_bulk_load_test.cc.o.d"
+  "pmjoin_index_data_tests"
+  "pmjoin_index_data_tests.pdb"
+  "pmjoin_index_data_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmjoin_index_data_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/bfrj_test.cc" "tests/CMakeFiles/pmjoin_integration_tests.dir/baselines/bfrj_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_integration_tests.dir/baselines/bfrj_test.cc.o.d"
+  "/root/repo/tests/baselines/block_nlj_test.cc" "tests/CMakeFiles/pmjoin_integration_tests.dir/baselines/block_nlj_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_integration_tests.dir/baselines/block_nlj_test.cc.o.d"
+  "/root/repo/tests/baselines/ego_test.cc" "tests/CMakeFiles/pmjoin_integration_tests.dir/baselines/ego_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_integration_tests.dir/baselines/ego_test.cc.o.d"
+  "/root/repo/tests/baselines/pbsm_test.cc" "tests/CMakeFiles/pmjoin_integration_tests.dir/baselines/pbsm_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_integration_tests.dir/baselines/pbsm_test.cc.o.d"
+  "/root/repo/tests/integration/accounting_test.cc" "tests/CMakeFiles/pmjoin_integration_tests.dir/integration/accounting_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_integration_tests.dir/integration/accounting_test.cc.o.d"
+  "/root/repo/tests/integration/driver_sweep_test.cc" "tests/CMakeFiles/pmjoin_integration_tests.dir/integration/driver_sweep_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_integration_tests.dir/integration/driver_sweep_test.cc.o.d"
+  "/root/repo/tests/integration/join_driver_test.cc" "tests/CMakeFiles/pmjoin_integration_tests.dir/integration/join_driver_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_integration_tests.dir/integration/join_driver_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pmjoin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmjoin_integration_tests.dir/baselines/bfrj_test.cc.o"
+  "CMakeFiles/pmjoin_integration_tests.dir/baselines/bfrj_test.cc.o.d"
+  "CMakeFiles/pmjoin_integration_tests.dir/baselines/block_nlj_test.cc.o"
+  "CMakeFiles/pmjoin_integration_tests.dir/baselines/block_nlj_test.cc.o.d"
+  "CMakeFiles/pmjoin_integration_tests.dir/baselines/ego_test.cc.o"
+  "CMakeFiles/pmjoin_integration_tests.dir/baselines/ego_test.cc.o.d"
+  "CMakeFiles/pmjoin_integration_tests.dir/baselines/pbsm_test.cc.o"
+  "CMakeFiles/pmjoin_integration_tests.dir/baselines/pbsm_test.cc.o.d"
+  "CMakeFiles/pmjoin_integration_tests.dir/integration/accounting_test.cc.o"
+  "CMakeFiles/pmjoin_integration_tests.dir/integration/accounting_test.cc.o.d"
+  "CMakeFiles/pmjoin_integration_tests.dir/integration/driver_sweep_test.cc.o"
+  "CMakeFiles/pmjoin_integration_tests.dir/integration/driver_sweep_test.cc.o.d"
+  "CMakeFiles/pmjoin_integration_tests.dir/integration/join_driver_test.cc.o"
+  "CMakeFiles/pmjoin_integration_tests.dir/integration/join_driver_test.cc.o.d"
+  "pmjoin_integration_tests"
+  "pmjoin_integration_tests.pdb"
+  "pmjoin_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmjoin_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

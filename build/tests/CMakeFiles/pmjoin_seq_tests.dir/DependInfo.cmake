@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/seq/edit_distance_test.cc" "tests/CMakeFiles/pmjoin_seq_tests.dir/seq/edit_distance_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_seq_tests.dir/seq/edit_distance_test.cc.o.d"
+  "/root/repo/tests/seq/frequency_vector_test.cc" "tests/CMakeFiles/pmjoin_seq_tests.dir/seq/frequency_vector_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_seq_tests.dir/seq/frequency_vector_test.cc.o.d"
+  "/root/repo/tests/seq/paa_test.cc" "tests/CMakeFiles/pmjoin_seq_tests.dir/seq/paa_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_seq_tests.dir/seq/paa_test.cc.o.d"
+  "/root/repo/tests/seq/sequence_store_test.cc" "tests/CMakeFiles/pmjoin_seq_tests.dir/seq/sequence_store_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_seq_tests.dir/seq/sequence_store_test.cc.o.d"
+  "/root/repo/tests/seq/window_join_test.cc" "tests/CMakeFiles/pmjoin_seq_tests.dir/seq/window_join_test.cc.o" "gcc" "tests/CMakeFiles/pmjoin_seq_tests.dir/seq/window_join_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pmjoin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

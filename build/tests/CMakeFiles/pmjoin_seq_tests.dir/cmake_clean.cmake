@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmjoin_seq_tests.dir/seq/edit_distance_test.cc.o"
+  "CMakeFiles/pmjoin_seq_tests.dir/seq/edit_distance_test.cc.o.d"
+  "CMakeFiles/pmjoin_seq_tests.dir/seq/frequency_vector_test.cc.o"
+  "CMakeFiles/pmjoin_seq_tests.dir/seq/frequency_vector_test.cc.o.d"
+  "CMakeFiles/pmjoin_seq_tests.dir/seq/paa_test.cc.o"
+  "CMakeFiles/pmjoin_seq_tests.dir/seq/paa_test.cc.o.d"
+  "CMakeFiles/pmjoin_seq_tests.dir/seq/sequence_store_test.cc.o"
+  "CMakeFiles/pmjoin_seq_tests.dir/seq/sequence_store_test.cc.o.d"
+  "CMakeFiles/pmjoin_seq_tests.dir/seq/window_join_test.cc.o"
+  "CMakeFiles/pmjoin_seq_tests.dir/seq/window_join_test.cc.o.d"
+  "pmjoin_seq_tests"
+  "pmjoin_seq_tests.pdb"
+  "pmjoin_seq_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmjoin_seq_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

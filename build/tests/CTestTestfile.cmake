@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/pmjoin_common_tests[1]_include.cmake")
+include("/root/repo/build/tests/pmjoin_seq_tests[1]_include.cmake")
+include("/root/repo/build/tests/pmjoin_index_data_tests[1]_include.cmake")
+include("/root/repo/build/tests/pmjoin_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/pmjoin_integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/pmjoin_bench_harness_tests[1]_include.cmake")

@@ -1,16 +1,27 @@
 // google-benchmark microbenchmarks for the CPU kernels underlying the
 // join operators: edit distance (full and banded), the sliding-window
-// trackers, PAA, MBR MINDIST, prediction-matrix construction, and the
-// clustering algorithms. These guard the constants behind the CPU cost
-// model (common/cost_model.h).
+// trackers, PAA, MBR MINDIST, prediction-matrix construction, the
+// clustering algorithms, and the serial-vs-parallel cluster-join executor
+// sweep. These guard the constants behind the CPU cost model
+// (common/cost_model.h).
 
 #include <benchmark/benchmark.h>
 
+#include <optional>
+
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/cost_clustering.h"
+#include "core/executor.h"
+#include "core/joiners.h"
 #include "core/plane_sweep.h"
+#include "core/scheduler.h"
 #include "core/square_clustering.h"
+#include "data/generators.h"
+#include "data/vector_dataset.h"
 #include "geom/mbr.h"
+#include "io/buffer_pool.h"
+#include "io/simulated_disk.h"
 #include "seq/edit_distance.h"
 #include "seq/frequency_vector.h"
 #include "seq/paa.h"
@@ -179,6 +190,103 @@ void BM_CostClustering(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * m.MarkedCount());
 }
 BENCHMARK(BM_CostClustering)->Arg(128)->Arg(512);
+
+/// Shared workload for the executor sweep: a clustered spatial join big
+/// enough that each cluster carries real distance-computation work. Built
+/// once; every benchmark run replays it on a fresh buffer pool.
+class ClusterJoinFixture {
+ public:
+  static ClusterJoinFixture& Get() {
+    static ClusterJoinFixture fixture;
+    return fixture;
+  }
+
+  SimulatedDisk& disk() { return disk_; }
+  const JoinInput& input() const { return input_; }
+  const std::vector<Cluster>& clusters() const { return clusters_; }
+  const std::vector<uint32_t>& order() const { return order_; }
+  uint32_t buffer_pages() const { return kBufferPages; }
+  uint64_t total_entries() const { return total_entries_; }
+
+ private:
+  static constexpr uint32_t kBufferPages = 24;
+
+  ClusterJoinFixture() {
+    r_raw_ = GenRoadNetwork(30000, /*seed=*/0x5EED);
+    s_raw_ = GenRoadNetwork(25000, /*seed=*/0xFEED);
+    VectorDataset::Options options;
+    options.page_size_bytes = 1024;
+    r_.emplace(VectorDataset::Build(&disk_, "r", r_raw_, options).value());
+    s_.emplace(VectorDataset::Build(&disk_, "s", s_raw_, options).value());
+    joiner_.emplace(&*r_, &*s_, /*eps=*/0.01, Norm::kL2,
+                    /*self_join=*/false);
+    input_.r_file = r_->file_id();
+    input_.s_file = s_->file_id();
+    input_.r_pages = r_->num_pages();
+    input_.s_pages = s_->num_pages();
+    input_.self_join = false;
+    input_.joiner = &*joiner_;
+    const PredictionMatrix matrix = BuildPredictionMatrixFlat(
+        r_->page_mbrs(), s_->page_mbrs(), 0.01, Norm::kL2, nullptr);
+    clusters_ = SquareClustering(matrix, kBufferPages, nullptr);
+    order_ = ScheduleClusters(clusters_, input_, nullptr);
+    for (const Cluster& c : clusters_) total_entries_ += c.entries.size();
+  }
+
+  SimulatedDisk disk_;
+  VectorData r_raw_, s_raw_;
+  std::optional<VectorDataset> r_, s_;
+  std::optional<VectorPairJoiner> joiner_;
+  JoinInput input_;
+  std::vector<Cluster> clusters_;
+  std::vector<uint32_t> order_;
+  uint64_t total_entries_ = 0;
+};
+
+/// Serial-vs-parallel executor sweep (Arg = worker count). The simulated
+/// I/O counters are exported per run and must be identical across thread
+/// counts — only wall-clock time may differ. Workers come from one
+/// external pool reused across iterations, so per-iteration cost excludes
+/// thread startup (matching a driver that keeps a pool alive).
+void BM_ClusterJoinExecutor(benchmark::State& state) {
+  ClusterJoinFixture& fixture = ClusterJoinFixture::Get();
+  const auto threads = static_cast<uint32_t>(state.range(0));
+  std::optional<ThreadPool> workers;
+  if (threads > 1) workers.emplace(threads);
+
+  IoStats io_delta;
+  uint64_t result_pairs = 0;
+  for (auto _ : state) {
+    const IoStats io_before = fixture.disk().stats();
+    BufferPool pool(&fixture.disk(), fixture.buffer_pages());
+    CountingSink sink;
+    ExecutorOptions options;
+    options.num_threads = threads;
+    options.thread_pool = workers ? &*workers : nullptr;
+    const Status status =
+        ExecuteClusteredJoin(fixture.input(), fixture.clusters(),
+                             fixture.order(), &pool, &sink, nullptr,
+                             options);
+    if (!status.ok()) {
+      state.SkipWithError(status.message().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(sink.count());
+    io_delta = fixture.disk().stats().Delta(io_before);
+    result_pairs = sink.count();
+  }
+  state.counters["pages_read"] = static_cast<double>(io_delta.pages_read);
+  state.counters["seeks"] = static_cast<double>(io_delta.seeks);
+  state.counters["result_pairs"] = static_cast<double>(result_pairs);
+  state.SetItemsProcessed(state.iterations() * fixture.total_entries());
+}
+BENCHMARK(BM_ClusterJoinExecutor)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_JoinStringPages(benchmark::State& state) {
   const size_t n = 8192;

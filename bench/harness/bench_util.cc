@@ -22,13 +22,17 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
       args.full = true;
     } else if (arg == "--quick") {
       args.quick = true;
+    } else if (arg == "--json") {
+      args.json = true;
+      SetJsonOutput(true);
     } else if (arg.rfind("--benchmark", 0) == 0) {
       // Tolerated so `for b in build/bench/*; do $b; done` can pass shared
       // google-benchmark flags without breaking the table binaries.
     } else {
-      std::fprintf(stderr,
-                   "unknown flag %s (supported: --scale=F --full --quick)\n",
-                   arg.c_str());
+      std::fprintf(
+          stderr,
+          "unknown flag %s (supported: --scale=F --full --quick --json)\n",
+          arg.c_str());
     }
   }
   return args;
@@ -135,10 +139,51 @@ double CalibratePageEps(const VectorDataset& r, const VectorDataset& s,
 namespace {
 constexpr int kColWidth = 12;
 constexpr int kLabelWidth = 18;
+
+// JSON-mode state: the current table's title and column names, captured by
+// PrintTableHeader so rows can be keyed by column.
+bool json_output = false;
+std::string json_table_title;
+std::vector<std::string> json_table_columns;
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Numeric-looking cells ("4.25", "1234", "-3") become JSON numbers;
+/// everything else (labels, "n/a") is emitted as a string.
+std::string JsonValue(const std::string& cell) {
+  if (!cell.empty()) {
+    char* end = nullptr;
+    std::strtod(cell.c_str(), &end);
+    if (end == cell.c_str() + cell.size()) return cell;
+  }
+  return "\"" + JsonEscape(cell) + "\"";
+}
 }  // namespace
+
+void SetJsonOutput(bool enabled) { json_output = enabled; }
 
 void PrintTableHeader(const std::string& title,
                       const std::vector<std::string>& columns) {
+  if (json_output) {
+    json_table_title = title;
+    json_table_columns = columns;
+    std::printf("{\"table\": \"%s\", \"columns\": [",
+                JsonEscape(title).c_str());
+    for (size_t i = 0; i < columns.size(); ++i) {
+      std::printf("%s\"%s\"", i == 0 ? "" : ", ",
+                  JsonEscape(columns[i]).c_str());
+    }
+    std::printf("]}\n");
+    return;
+  }
   std::printf("\n=== %s ===\n", title.c_str());
   std::printf("%-*s", kLabelWidth, "");
   for (const std::string& c : columns) {
@@ -151,6 +196,20 @@ void PrintTableHeader(const std::string& title,
 }
 
 void PrintTableRow(const std::vector<std::string>& cells) {
+  if (json_output) {
+    std::printf("{\"table\": \"%s\"", JsonEscape(json_table_title).c_str());
+    if (!cells.empty())
+      std::printf(", \"label\": %s", JsonValue(cells[0]).c_str());
+    for (size_t i = 1; i < cells.size(); ++i) {
+      const std::string key = i - 1 < json_table_columns.size()
+                                  ? json_table_columns[i - 1]
+                                  : "col" + std::to_string(i - 1);
+      std::printf(", \"%s\": %s", JsonEscape(key).c_str(),
+                  JsonValue(cells[i]).c_str());
+    }
+    std::printf("}\n");
+    return;
+  }
   if (!cells.empty()) std::printf("%-*s", kLabelWidth, cells[0].c_str());
   for (size_t i = 1; i < cells.size(); ++i) {
     std::printf("%*s", kColWidth, cells[i].c_str());
@@ -193,6 +252,10 @@ void PrintReportRow(const std::string& label, const JoinReport& report) {
 }
 
 void PrintPaperNote(const std::string& note) {
+  if (json_output) {
+    std::printf("{\"paper_note\": \"%s\"}\n", JsonEscape(note).c_str());
+    return;
+  }
   std::printf("paper: %s\n", note.c_str());
 }
 

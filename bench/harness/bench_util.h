@@ -22,10 +22,14 @@ namespace bench {
 ///                 (default per bench; buffer sizes scale along)
 ///   --full        the paper's full cardinalities (slow)
 ///   --quick       an extra-small smoke configuration
+///   --json        emit JSON Lines instead of fixed-width tables: one
+///                 object per table row, keyed by the column names, plus
+///                 {"table": ...} header and {"paper_note": ...} records
 struct BenchArgs {
   double scale = 0.0;  // 0 → use the bench's default.
   bool full = false;
   bool quick = false;
+  bool json = false;
 
   static BenchArgs Parse(int argc, char** argv);
 
@@ -112,10 +116,19 @@ double CalibratePageEps(const VectorDataset& r, const VectorDataset& s,
                         double target_selectivity, Norm norm,
                         uint64_t seed, size_t samples = 200000);
 
-/// Fixed-width table printing.
+/// Fixed-width table printing. In JSON mode (`--json`, or SetJsonOutput)
+/// the same calls emit JSON Lines: the header emits
+/// `{"table": <title>, "columns": [...]}` and each row emits one object
+/// keyed by the header's column names (numeric-looking cells are emitted
+/// as JSON numbers). tools/assemble_bench_output.sh concatenates either
+/// format unchanged.
 void PrintTableHeader(const std::string& title,
                       const std::vector<std::string>& columns);
 void PrintTableRow(const std::vector<std::string>& cells);
+
+/// Switches PrintTable*/PrintPaperNote to JSON Lines output. Called by
+/// BenchArgs::Parse when it sees --json.
+void SetJsonOutput(bool enabled);
 std::string FormatSeconds(double seconds);
 std::string FormatCount(uint64_t count);
 

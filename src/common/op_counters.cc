@@ -25,6 +25,23 @@ OpCounters OpCounters::Delta(const OpCounters& start) const {
   return d;
 }
 
+ShardedOpCounters::ShardedOpCounters(size_t num_shards)
+    : num_shards_(num_shards == 0 ? 1 : num_shards),
+      shards_(new PaddedCounters[num_shards_]) {}
+
+OpCounters ShardedOpCounters::Total() const {
+  OpCounters total;
+  for (size_t i = 0; i < num_shards_; ++i) total += shards_[i].counters;
+  return total;
+}
+
+void ShardedOpCounters::DrainInto(OpCounters* total) {
+  for (size_t i = 0; i < num_shards_; ++i) {
+    if (total != nullptr) *total += shards_[i].counters;
+    shards_[i].counters.Reset();
+  }
+}
+
 std::string OpCounters::ToString() const {
   std::ostringstream os;
   os << "dist_terms=" << distance_terms << " filter_checks=" << filter_checks

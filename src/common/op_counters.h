@@ -1,7 +1,9 @@
 #ifndef PMJOIN_COMMON_OP_COUNTERS_H_
 #define PMJOIN_COMMON_OP_COUNTERS_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 namespace pmjoin {
@@ -35,6 +37,8 @@ struct OpCounters {
   /// Number of result pairs emitted.
   uint64_t result_pairs = 0;
 
+  bool operator==(const OpCounters& other) const = default;
+
   /// Element-wise sum.
   OpCounters& operator+=(const OpCounters& other);
 
@@ -45,6 +49,39 @@ struct OpCounters {
   void Reset() { *this = OpCounters(); }
 
   std::string ToString() const;
+};
+
+/// Per-thread OpCounters shards for parallel operators.
+///
+/// Each worker charges its own shard with no synchronization (shards are
+/// cache-line padded to avoid false sharing); the coordinator folds them
+/// into a total after the workers have been joined. Because all counters
+/// are sums, the folded total is independent of how work was distributed
+/// across shards — a parallel run aggregates to exactly the serial counts.
+class ShardedOpCounters {
+ public:
+  /// Creates `num_shards` zeroed shards (at least 1).
+  explicit ShardedOpCounters(size_t num_shards);
+
+  size_t num_shards() const { return num_shards_; }
+
+  /// Shard `i`'s counters; each thread must use a distinct shard.
+  OpCounters* shard(size_t i) { return &shards_[i].counters; }
+
+  /// Element-wise sum of all shards.
+  OpCounters Total() const;
+
+  /// Adds every shard into `total` (no-op when `total` is null) and zeroes
+  /// the shards for reuse.
+  void DrainInto(OpCounters* total);
+
+ private:
+  struct alignas(64) PaddedCounters {
+    OpCounters counters;
+  };
+
+  size_t num_shards_;
+  std::unique_ptr<PaddedCounters[]> shards_;
 };
 
 }  // namespace pmjoin

@@ -1,7 +1,9 @@
 #ifndef PMJOIN_COMMON_PAIR_SINK_H_
 #define PMJOIN_COMMON_PAIR_SINK_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -68,6 +70,60 @@ class CollectingSink : public PairSink {
 
  private:
   std::vector<std::pair<uint64_t, uint64_t>> pairs_;
+};
+
+/// Per-thread result buffers for parallel operators.
+///
+/// Join workers are handed distinct shards (each shard is itself a
+/// `PairSink`), so emission is lock-free; the coordinator then drains the
+/// shards into the real downstream sink *in shard order*. When the work is
+/// partitioned into contiguous chunks assigned to shards 0..n−1 in order
+/// (as the parallel executor does per cluster), the drained emission
+/// sequence is exactly the serial one — no sorting needed for
+/// reproducibility. `DrainSorted` additionally sorts, for comparing
+/// against operators with a different emission order.
+class ShardedPairSink {
+ public:
+  /// A buffering sink for one worker thread.
+  class Shard : public PairSink {
+   public:
+    void OnPair(uint64_t r, uint64_t s) override {
+      pairs_.emplace_back(r, s);
+    }
+
+   private:
+    friend class ShardedPairSink;
+    std::vector<std::pair<uint64_t, uint64_t>> pairs_;
+  };
+
+  /// Creates `num_shards` empty shards (at least 1).
+  explicit ShardedPairSink(size_t num_shards);
+
+  size_t num_shards() const { return num_shards_; }
+
+  /// Shard `i`; each thread must emit into a distinct shard.
+  PairSink* shard(size_t i) { return &shards_[i].shard; }
+
+  /// Pairs buffered across all shards.
+  size_t BufferedCount() const;
+
+  /// Forwards every buffered pair to `out` in shard order (shard 0's pairs
+  /// in emission order, then shard 1's, ...) and clears the buffers.
+  void Drain(PairSink* out);
+
+  /// Like `Drain`, but forwards the union of all shards sorted by
+  /// (r, s) — a deterministic order regardless of how work was sharded.
+  void DrainSorted(PairSink* out);
+
+ private:
+  /// Padded so concurrent emission into adjacent shards does not contend
+  /// on one cache line.
+  struct alignas(64) PaddedShard {
+    Shard shard;
+  };
+
+  size_t num_shards_;
+  std::unique_ptr<PaddedShard[]> shards_;
 };
 
 }  // namespace pmjoin

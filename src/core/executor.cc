@@ -1,30 +1,181 @@
 #include "core/executor.h"
 
+#include <algorithm>
+#include <optional>
+#include <utility>
+
 namespace pmjoin {
+
+void JoinEntries(const JoinInput& input, std::span<const MatrixEntry> entries,
+                 PairSink* sink, OpCounters* ops) {
+  for (const MatrixEntry& e : entries) {
+    input.joiner->JoinPages(e.row, e.col, sink, ops);
+  }
+}
+
+namespace {
+
+/// Validates the next cluster index and computes its page set, mirroring
+/// the serial loop's per-cluster checks so both paths fail at the same
+/// point with the same status.
+Status ValidateAndPageSet(const JoinInput& input,
+                          const std::vector<Cluster>& clusters,
+                          uint32_t index, uint32_t capacity,
+                          std::vector<PageId>* pages) {
+  if (index >= clusters.size())
+    return Status::InvalidArgument("order index out of range");
+  *pages = ClusterPageSet(clusters[index], input);
+  if (pages->size() > capacity)
+    return Status::BufferFull("cluster larger than buffer pool");
+  return Status::OK();
+}
+
+/// True iff pinning `pages` now (with the current cluster still pinned)
+/// provably charges the same simulated I/O and evicts the same victims as
+/// pinning them at the serial position (after the current cluster is
+/// unpinned).
+///
+/// Why this is sufficient: Unpin changes no residency and no counters, so
+/// the hit/miss classification of `pages` — and hence the transfer/seek
+/// schedule over the miss set — is the same at both positions. The only
+/// state difference is that the serial pool's LRU list additionally holds
+/// the current cluster's pages *at its tail*. Victims pop from the front,
+/// so both runs evict the identical prefix of the shared LRU as long as
+/// the evictions needed (resident + misses − capacity) do not exceed the
+/// evictable pages available while the current cluster is still pinned.
+/// Beyond that bound the serial run would start evicting the current
+/// cluster's own pages, so the caller defers the pin to the serial
+/// position instead.
+bool CanPrefetch(const BufferPool& pool, std::span<const PageId> pages) {
+  uint64_t misses = 0;
+  for (const PageId& pid : pages) {
+    if (!pool.Contains(pid)) ++misses;
+  }
+  const uint64_t after = pool.ResidentCount() + misses;
+  const uint64_t evictions =
+      after > pool.capacity() ? after - pool.capacity() : 0;
+  return evictions <= pool.UnpinnedCount();
+}
+
+/// The serial §8 loop: read each cluster's page set with the seek-optimal
+/// schedule, join its marked entries in memory, release the pins.
+Status ExecuteSerial(const JoinInput& input,
+                     const std::vector<Cluster>& clusters,
+                     std::span<const uint32_t> order, BufferPool* pool,
+                     PairSink* sink, OpCounters* ops) {
+  for (uint32_t index : order) {
+    std::vector<PageId> pages;
+    PMJOIN_RETURN_IF_ERROR(ValidateAndPageSet(input, clusters, index,
+                                              pool->capacity(), &pages));
+    PMJOIN_RETURN_IF_ERROR(pool->PinBatch(pages));
+    const Cluster& cluster = clusters[index];
+    JoinEntries(input, cluster.entries, sink, ops);
+    pool->UnpinBatch(pages);
+  }
+  return Status::OK();
+}
+
+/// The parallel executor: workers join the current cluster's entries in
+/// contiguous chunks while the coordinator stages the next cluster's pages.
+///
+/// Invariants that keep every observable identical to ExecuteSerial:
+///  - Pool and disk are touched by the coordinator thread only; workers
+///    compute on dataset memory (pages pinned for the cluster they are
+///    joining) and write to private sink/counter shards.
+///  - Cluster k+1's pages are pinned early only when CanPrefetch proves
+///    the charged I/O and the eviction victims match the serial position;
+///    otherwise the pin happens exactly where the serial loop does it.
+///  - Chunks are contiguous subranges of the entry list assigned to shards
+///    in order, and shards are drained in shard order after the cluster's
+///    WaitGroup clears — reproducing the serial emission sequence, not
+///    just the set.
+Status ExecuteParallel(const JoinInput& input,
+                       const std::vector<Cluster>& clusters,
+                       std::span<const uint32_t> order, BufferPool* pool,
+                       PairSink* sink, OpCounters* ops,
+                       const ExecutorOptions& options) {
+  std::optional<ThreadPool> owned_pool;
+  ThreadPool* workers = options.thread_pool;
+  if (workers == nullptr) {
+    owned_pool.emplace(options.num_threads);
+    workers = &*owned_pool;
+  }
+  const uint32_t num_workers = workers->size();
+
+  ShardedPairSink pair_shards(num_workers);
+  ShardedOpCounters op_shards(num_workers);
+
+  std::vector<PageId> current;
+  PMJOIN_RETURN_IF_ERROR(ValidateAndPageSet(input, clusters, order[0],
+                                            pool->capacity(), &current));
+  PMJOIN_RETURN_IF_ERROR(pool->PinBatch(current));
+
+  for (size_t i = 0; i < order.size(); ++i) {
+    const Cluster& cluster = clusters[order[i]];
+    const size_t n = cluster.entries.size();
+    const uint32_t chunks = static_cast<uint32_t>(
+        std::min<size_t>(num_workers, n));
+
+    WaitGroup wg;
+    wg.Add(chunks);
+    for (uint32_t c = 0; c < chunks; ++c) {
+      const size_t lo = n * c / chunks;
+      const size_t hi = n * (c + 1) / chunks;
+      const std::span<const MatrixEntry> chunk(cluster.entries.data() + lo,
+                                               hi - lo);
+      PairSink* chunk_sink = pair_shards.shard(c);
+      OpCounters* chunk_ops = op_shards.shard(c);
+      workers->Submit([&input, &wg, chunk, chunk_sink, chunk_ops] {
+        JoinEntries(input, chunk, chunk_sink, chunk_ops);
+        wg.Done();
+      });
+    }
+
+    // Prefetch stage: while the workers chew on cluster i, stage cluster
+    // i+1's pages in schedule order (when provably accounting-neutral).
+    const bool have_next = i + 1 < order.size();
+    Status next_status;
+    std::vector<PageId> next;
+    bool next_pinned = false;
+    if (have_next) {
+      next_status = ValidateAndPageSet(input, clusters, order[i + 1],
+                                       pool->capacity(), &next);
+      if (next_status.ok() && options.prefetch_next_cluster &&
+          CanPrefetch(*pool, next)) {
+        next_status = pool->PinBatch(next);
+        next_pinned = next_status.ok();
+      }
+    }
+
+    wg.Wait();
+    op_shards.DrainInto(ops);
+    pair_shards.Drain(sink);
+    pool->UnpinBatch(current);
+
+    if (have_next) {
+      PMJOIN_RETURN_IF_ERROR(next_status);
+      if (!next_pinned) PMJOIN_RETURN_IF_ERROR(pool->PinBatch(next));
+      current = std::move(next);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Status ExecuteClusteredJoin(const JoinInput& input,
                             const std::vector<Cluster>& clusters,
                             std::span<const uint32_t> order,
                             BufferPool* pool, PairSink* sink,
-                            OpCounters* ops) {
+                            OpCounters* ops,
+                            const ExecutorOptions& options) {
   if (order.size() != clusters.size())
     return Status::InvalidArgument("order size != cluster count");
+  if (order.empty()) return Status::OK();
 
-  for (uint32_t index : order) {
-    if (index >= clusters.size())
-      return Status::InvalidArgument("order index out of range");
-    const Cluster& cluster = clusters[index];
-    std::vector<PageId> pages = ClusterPageSet(cluster, input);
-    if (pages.size() > pool->capacity())
-      return Status::BufferFull("cluster larger than buffer pool");
-
-    PMJOIN_RETURN_IF_ERROR(pool->PinBatch(pages));
-    for (const MatrixEntry& e : cluster.entries) {
-      input.joiner->JoinPages(e.row, e.col, sink, ops);
-    }
-    pool->UnpinBatch(pages);
-  }
-  return Status::OK();
+  if (options.num_threads <= 1)
+    return ExecuteSerial(input, clusters, order, pool, sink, ops);
+  return ExecuteParallel(input, clusters, order, pool, sink, ops, options);
 }
 
 }  // namespace pmjoin

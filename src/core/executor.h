@@ -1,16 +1,53 @@
 #ifndef PMJOIN_CORE_EXECUTOR_H_
 #define PMJOIN_CORE_EXECUTOR_H_
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "common/op_counters.h"
 #include "common/pair_sink.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/cluster.h"
 #include "io/buffer_pool.h"
 
 namespace pmjoin {
+
+/// Execution knobs for ExecuteClusteredJoin. The defaults reproduce the
+/// paper's serial executor exactly; all existing callers and figures are
+/// unchanged.
+struct ExecutorOptions {
+  /// Worker threads joining a cluster's marked entries. 1 (the default)
+  /// runs the serial §8 loop on the calling thread. With n > 1, each
+  /// cluster's entry list is split into n contiguous chunks joined
+  /// concurrently; results and CPU counters are gathered from per-thread
+  /// shards in chunk order, so the emitted pair sequence and the
+  /// aggregated `OpCounters` are identical to the serial run's.
+  uint32_t num_threads = 1;
+
+  /// Overlap I/O with computation: while workers join cluster k, the
+  /// coordinator pins cluster k+1's non-resident pages through the buffer
+  /// pool (in the same seek-optimal schedule order the serial run would
+  /// use). Only applied when a feasibility check proves the eviction
+  /// sequence — and therefore the simulated `IoStats` — stays byte-
+  /// identical to the serial run; otherwise that step falls back to the
+  /// serial read position. Ignored when num_threads == 1.
+  bool prefetch_next_cluster = true;
+
+  /// Optional externally owned pool of workers to reuse across calls
+  /// (must have >= 1 thread). When null and num_threads > 1, the call
+  /// creates a transient pool of num_threads workers.
+  ThreadPool* thread_pool = nullptr;
+};
+
+/// In-memory join of a range of marked entries: calls
+/// `input.joiner->JoinPages` for each entry in order. This is the entry-
+/// join kernel shared by the serial executor, each parallel worker's
+/// chunk, and pm-NLJ-style callers that already hold the pages resident.
+/// The caller guarantees every referenced page is buffer-resident.
+void JoinEntries(const JoinInput& input, std::span<const MatrixEntry> entries,
+                 PairSink* sink, OpCounters* ops);
 
 /// Processes clusters in the given order (§8): for each cluster, its page
 /// set is read through the buffer pool using the seek-optimal multi-page
@@ -21,11 +58,18 @@ namespace pmjoin {
 ///
 /// `order` holds indices into `clusters` (e.g. from ScheduleClusters, or a
 /// shuffled order for the random-SC baseline).
+///
+/// With `options.num_threads > 1` the in-memory join of each cluster runs
+/// on a worker pool and the next cluster's pages are prefetched while it
+/// runs; the result-pair sequence, CPU counters, and simulated I/O stats
+/// are guaranteed identical to the serial execution (the disk-access
+/// sequence is preserved, keeping the Lemma 3–4 seek accounting intact).
 Status ExecuteClusteredJoin(const JoinInput& input,
                             const std::vector<Cluster>& clusters,
                             std::span<const uint32_t> order,
                             BufferPool* pool, PairSink* sink,
-                            OpCounters* ops);
+                            OpCounters* ops,
+                            const ExecutorOptions& options = {});
 
 }  // namespace pmjoin
 

@@ -103,7 +103,10 @@ Status RunMatrixAlgorithm(const JoinInput& input,
         order.resize(clusters.size());
         std::iota(order.begin(), order.end(), 0u);
       }
-      return ExecuteClusteredJoin(input, clusters, order, &pool, sink, ops);
+      ExecutorOptions exec_options;
+      exec_options.num_threads = options.num_threads;
+      return ExecuteClusteredJoin(input, clusters, order, &pool, sink, ops,
+                                  exec_options);
     }
     case Algorithm::kEgo:
     case Algorithm::kBfrj:

@@ -67,6 +67,12 @@ struct JoinOptions {
   /// Page size in bytes (BFRJ intermediate sizing; must match the page
   /// size used to build the datasets).
   uint32_t page_size_bytes = 4096;
+
+  /// Worker threads for the clustered executor's in-memory entry joins
+  /// (SC / rand-SC / CC only; see core/executor.h). 1 = serial. Any value
+  /// produces the identical result pairs, CPU counters, and simulated
+  /// IoStats — parallelism only changes wall-clock time.
+  uint32_t num_threads = 1;
 };
 
 /// Everything a bench row needs about one join execution. All "seconds"

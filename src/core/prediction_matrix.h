@@ -8,6 +8,9 @@
 namespace pmjoin {
 
 /// One marked entry of the prediction matrix: page r of R × page s of S.
+/// The unit of work every join operator consumes — pm-NLJ iterates them
+/// per block (Fig. 4), the clustering algorithms partition them (§7), and
+/// the executor joins a cluster's entries once its pages are resident.
 struct MatrixEntry {
   uint32_t row = 0;
   uint32_t col = 0;
@@ -56,10 +59,12 @@ class PredictionMatrix {
   /// All marked entries in row-major order. Requires Finalize().
   std::vector<MatrixEntry> AllEntries() const;
 
-  /// Number of rows with at least one marked entry.
+  /// Number of rows with at least one marked entry (the r of Theorem 2's
+  /// per-cluster saving w − min{r, c} when applied to a sub-matrix).
   uint32_t MarkedRowCount() const;
 
-  /// Number of columns with at least one marked entry.
+  /// Number of columns with at least one marked entry (the c of
+  /// Theorem 2).
   uint32_t MarkedColCount() const;
 
   /// Marked pages of R (rows with >= 1 entry), ascending.

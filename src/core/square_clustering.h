@@ -17,7 +17,9 @@ namespace pmjoin {
 ///      Theorem 2 shows the per-cluster I/O saving w − min{r, c} is
 ///      maximized at r = c when r + c is fixed;
 ///   2. r + c equal to the buffer size B (no buffer space wasted), except
-///      at the boundaries;
+///      at the boundaries — Lemma 2: a cluster with r + c <= B is joined
+///      with exactly r + c page reads, since all of its pages fit in the
+///      buffer simultaneously;
 ///   3. minimal column width: columns are consumed left-to-right, so the
 ///      pages read for one cluster span a small physical range.
 ///

@@ -63,6 +63,13 @@ class BufferPool {
   uint32_t ResidentCount() const { return static_cast<uint32_t>(frames_.size()); }
   uint32_t PinnedCount() const { return pinned_count_; }
 
+  /// Resident pages that are evictable (pin count zero). The parallel
+  /// executor's prefetch-feasibility check (core/executor.cc) compares the
+  /// evictions a batch would need against this.
+  uint32_t UnpinnedCount() const {
+    return static_cast<uint32_t>(frames_.size()) - pinned_count_;
+  }
+
   SimulatedDisk* disk() { return disk_; }
 
  private:

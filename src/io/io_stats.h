@@ -30,6 +30,8 @@ struct IoStats {
   /// Buffer-pool hits (no disk access at all). Maintained by BufferPool.
   uint64_t buffer_hits = 0;
 
+  bool operator==(const IoStats& other) const = default;
+
   IoStats Delta(const IoStats& start) const;
   IoStats& operator+=(const IoStats& other);
   void Reset() { *this = IoStats(); }

@@ -53,6 +53,45 @@ TEST(OpCountersTest, ToStringMentionsFields) {
   EXPECT_NE(ops.ToString().find("dist_terms=42"), std::string::npos);
 }
 
+TEST(ShardedOpCountersTest, TotalSumsShards) {
+  ShardedOpCounters sharded(3);
+  sharded.shard(0)->distance_terms = 10;
+  sharded.shard(1)->distance_terms = 5;
+  sharded.shard(1)->result_pairs = 2;
+  sharded.shard(2)->mbr_tests = 7;
+  const OpCounters total = sharded.Total();
+  EXPECT_EQ(total.distance_terms, 15u);
+  EXPECT_EQ(total.result_pairs, 2u);
+  EXPECT_EQ(total.mbr_tests, 7u);
+}
+
+TEST(ShardedOpCountersTest, DrainIntoAggregatesAndResets) {
+  ShardedOpCounters sharded(2);
+  sharded.shard(0)->edit_cells = 4;
+  sharded.shard(1)->edit_cells = 6;
+  OpCounters total;
+  total.edit_cells = 1;
+  sharded.DrainInto(&total);
+  EXPECT_EQ(total.edit_cells, 11u);
+  EXPECT_EQ(sharded.Total(), OpCounters());
+  // Null target discards (the executor's ops == nullptr case).
+  sharded.shard(0)->edit_cells = 3;
+  sharded.DrainInto(nullptr);
+  EXPECT_EQ(sharded.Total(), OpCounters());
+}
+
+TEST(ShardedOpCountersTest, AggregationIsPartitionInvariant) {
+  // Distributing the same charges across different shard counts must
+  // produce the same total — the property the parallel executor's
+  // per-thread accounting rests on.
+  ShardedOpCounters a(2), b(5);
+  for (int i = 0; i < 10; ++i) {
+    a.shard(i % 2)->distance_terms += 100 + i;
+    b.shard(i % 5)->distance_terms += 100 + i;
+  }
+  EXPECT_EQ(a.Total(), b.Total());
+}
+
 TEST(CpuCostModelTest, SecondsLinearInCounts) {
   CpuCostModel model;
   OpCounters ops;

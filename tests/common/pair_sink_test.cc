@@ -39,5 +39,48 @@ TEST(SemiJoinSinkTest, EmptyIsEmpty) {
   EXPECT_TRUE(sink.Sorted().empty());
 }
 
+TEST(ShardedPairSinkTest, DrainPreservesShardOrder) {
+  ShardedPairSink sharded(3);
+  sharded.shard(1)->OnPair(10, 11);
+  sharded.shard(0)->OnPair(1, 2);
+  sharded.shard(0)->OnPair(3, 4);
+  sharded.shard(2)->OnPair(20, 21);
+  EXPECT_EQ(sharded.BufferedCount(), 4u);
+
+  CollectingSink out;
+  sharded.Drain(&out);
+  const std::vector<std::pair<uint64_t, uint64_t>> expected{
+      {1, 2}, {3, 4}, {10, 11}, {20, 21}};
+  EXPECT_EQ(out.pairs(), expected);
+  // Drain clears the buffers for reuse on the next cluster.
+  EXPECT_EQ(sharded.BufferedCount(), 0u);
+}
+
+TEST(ShardedPairSinkTest, DrainSortedIsShardingInvariant) {
+  ShardedPairSink a(2), b(4);
+  a.shard(1)->OnPair(5, 6);
+  a.shard(0)->OnPair(9, 1);
+  a.shard(0)->OnPair(2, 2);
+  b.shard(3)->OnPair(2, 2);
+  b.shard(0)->OnPair(5, 6);
+  b.shard(2)->OnPair(9, 1);
+
+  CollectingSink out_a, out_b;
+  a.DrainSorted(&out_a);
+  b.DrainSorted(&out_b);
+  EXPECT_EQ(out_a.pairs(), out_b.pairs());
+  const std::pair<uint64_t, uint64_t> first{2, 2};
+  EXPECT_EQ(out_a.pairs().front(), first);
+}
+
+TEST(ShardedPairSinkTest, ZeroShardsClampedToOne) {
+  ShardedPairSink sharded(0);
+  EXPECT_EQ(sharded.num_shards(), 1u);
+  sharded.shard(0)->OnPair(1, 1);
+  CountingSink out;
+  sharded.Drain(&out);
+  EXPECT_EQ(out.count(), 1u);
+}
+
 }  // namespace
 }  // namespace pmjoin

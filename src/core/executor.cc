@@ -31,30 +31,41 @@ Status ValidateAndPageSet(const JoinInput& input,
 }
 
 /// True iff pinning `pages` now (with the current cluster still pinned)
-/// provably charges the same simulated I/O and evicts the same victims as
-/// pinning them at the serial position (after the current cluster is
-/// unpinned).
+/// provably succeeds, charges the same simulated I/O, and evicts the same
+/// victims as pinning them at the serial position (after the current
+/// cluster is unpinned).
 ///
 /// Why this is sufficient: Unpin changes no residency and no counters, so
 /// the hit/miss classification of `pages` — and hence the transfer/seek
 /// schedule over the miss set — is the same at both positions. The only
 /// state difference is that the serial pool's LRU list additionally holds
-/// the current cluster's pages *at its tail*. Victims pop from the front,
-/// so both runs evict the identical prefix of the shared LRU as long as
-/// the evictions needed (resident + misses − capacity) do not exceed the
-/// evictable pages available while the current cluster is still pinned.
-/// Beyond that bound the serial run would start evicting the current
-/// cluster's own pages, so the caller defers the pin to the serial
-/// position instead.
+/// the current cluster's pages *at its tail*. Victims pop from the front.
+///
+/// The victim supply, however, is not UnpinnedCount(): PinBatch pins the
+/// batch's resident pages *before* admitting any miss (and pins each
+/// admitted miss immediately), so a batch page that is resident-unpinned
+/// right now leaves the LRU list before the first eviction and can never
+/// be a victim of its own batch. Only evictable pages *outside* the batch
+/// count. If the evictions needed (resident + misses − capacity) fit in
+/// that supply, both runs evict the identical prefix of the shared
+/// non-batch LRU — and the pin cannot fail mid-batch (PinBatch failure is
+/// not state-neutral, so a failed early pin would already have diverged
+/// the accounting; see io/buffer_pool.h). Beyond the bound the serial run
+/// would draw victims from the current cluster's just-unpinned pages, so
+/// the caller defers the pin to the serial position instead.
 bool CanPrefetch(const BufferPool& pool, std::span<const PageId> pages) {
   uint64_t misses = 0;
+  uint64_t batch_evictable = 0;
   for (const PageId& pid : pages) {
-    if (!pool.Contains(pid)) ++misses;
+    if (!pool.Contains(pid))
+      ++misses;
+    else if (pool.IsEvictable(pid))
+      ++batch_evictable;
   }
   const uint64_t after = pool.ResidentCount() + misses;
   const uint64_t evictions =
       after > pool.capacity() ? after - pool.capacity() : 0;
-  return evictions <= pool.UnpinnedCount();
+  return evictions + batch_evictable <= pool.UnpinnedCount();
 }
 
 /// The serial §8 loop: read each cluster's page set with the seek-optimal

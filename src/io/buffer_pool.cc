@@ -125,6 +125,11 @@ bool BufferPool::Contains(PageId pid) const {
   return frames_.find(pid) != frames_.end();
 }
 
+bool BufferPool::IsEvictable(PageId pid) const {
+  auto it = frames_.find(pid);
+  return it != frames_.end() && it->second.pin_count == 0;
+}
+
 Status BufferPool::Clear() {
   if (pinned_count_ > 0)
     return Status::Internal("Clear with pinned pages outstanding");

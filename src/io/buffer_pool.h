@@ -47,6 +47,14 @@ class BufferPool {
   /// Pins a batch. Misses are fetched with the seek-optimal disk schedule
   /// (io/disk_scheduler.h); hits cost nothing. The batch must fit:
   /// `pages.size() + pinned pages` must be <= capacity.
+  ///
+  /// Failure is NOT state-neutral: pins acquired before the failure are
+  /// rolled back, but evictions already performed, `buffer_hits` already
+  /// charged, and refreshed LRU positions are not restored. A caller that
+  /// depends on accounting equivalence (the parallel executor's prefetch,
+  /// core/executor.cc) must gate the call so it provably cannot fail —
+  /// evictions needed must not exceed the evictable pages *outside* the
+  /// batch (see IsEvictable) — or treat failure as fatal.
   Status PinBatch(std::span<const PageId> pages);
 
   /// Unpins every page in `pages` (each exactly once).
@@ -54,6 +62,13 @@ class BufferPool {
 
   /// True iff the page is resident (pinned or not).
   bool Contains(PageId pid) const;
+
+  /// True iff the page is resident with pin count zero, i.e. currently an
+  /// eviction candidate. The parallel executor's prefetch gate uses this
+  /// to exclude a batch's own resident-unpinned pages from the victim
+  /// supply: PinBatch pins them before admitting any miss, so they can
+  /// never be evicted on behalf of that batch.
+  bool IsEvictable(PageId pid) const;
 
   /// Drops all unpinned pages (used between independent experiment phases).
   /// Fails if any page is still pinned.

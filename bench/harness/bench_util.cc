@@ -164,7 +164,12 @@ std::string JsonValue(const std::string& cell) {
     std::strtod(cell.c_str(), &end);
     if (end == cell.c_str() + cell.size()) return cell;
   }
-  return "\"" + JsonEscape(cell) + "\"";
+  // Built with += to sidestep GCC 12's -Wrestrict false positive on
+  // operator+(const char*, std::string&&) (GCC PR 105651).
+  std::string quoted = "\"";
+  quoted += JsonEscape(cell);
+  quoted += '"';
+  return quoted;
 }
 }  // namespace
 

@@ -1,0 +1,23 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pmjoin {
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& detail) {
+  if (detail.empty()) {
+    std::fprintf(stderr, "PMJOIN_CHECK failed at %s:%d: %s\n", file, line,
+                 expr);
+  } else {
+    std::fprintf(stderr, "PMJOIN_CHECK failed at %s:%d: %s (%s)\n", file,
+                 line, expr, detail.c_str());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace pmjoin

@@ -1,0 +1,86 @@
+#ifndef PMJOIN_COMMON_CHECK_H_
+#define PMJOIN_COMMON_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+
+namespace pmjoin {
+namespace internal {
+
+/// Reports a failed check (file:line, the stringified condition, and an
+/// optional detail message) to stderr and aborts. Never returns; checks
+/// abort rather than throw so no exception can cross the public
+/// Status/Result API (tools/pmjoin_lint.py enforces the no-throw rule).
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& detail);
+
+inline std::string CheckDetail() { return std::string(); }
+
+template <typename... Args>
+std::string CheckDetail(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+}  // namespace internal
+}  // namespace pmjoin
+
+/// Always-on invariant check: aborts with a diagnostic when `cond` is
+/// false. Use for conditions whose violation means memory is already
+/// corrupt or accounting is already wrong — continuing would turn a
+/// localized bug into a misleading downstream failure. Optional extra
+/// arguments are streamed into the failure message.
+///
+///   PMJOIN_CHECK(pinned_count_ > 0);
+///   PMJOIN_CHECK(n <= cap, "batch of ", n, " exceeds capacity ", cap);
+#define PMJOIN_CHECK(cond, ...)                                        \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::pmjoin::internal::CheckFailed(                                 \
+          __FILE__, __LINE__, #cond,                                   \
+          ::pmjoin::internal::CheckDetail(__VA_ARGS__));               \
+    }                                                                  \
+  } while (false)
+
+/// Always-on check that a Status expression is OK; aborts with the
+/// status text otherwise.
+#define PMJOIN_CHECK_OK(expr)                                          \
+  do {                                                                 \
+    const ::pmjoin::Status _pmjoin_check_st = (expr);                  \
+    if (!_pmjoin_check_st.ok()) {                                      \
+      ::pmjoin::internal::CheckFailed(__FILE__, __LINE__, #expr,       \
+                                      _pmjoin_check_st.ToString());    \
+    }                                                                  \
+  } while (false)
+
+/// Debug (paranoid-build) variants: compiled to nothing unless the build
+/// defines PMJOIN_PARANOID (cmake -DPMJOIN_PARANOID=ON). The executor and
+/// join driver call the ValidateInvariants() audits through these at
+/// phase boundaries, so paranoid builds verify every intermediate state
+/// while release builds pay nothing.
+///
+/// The disabled form still type-checks its argument (inside `if (false)`)
+/// so paranoid-only expressions cannot rot in normal builds, but it
+/// evaluates nothing at runtime.
+#ifdef PMJOIN_PARANOID
+#define PMJOIN_DCHECK(cond, ...) PMJOIN_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+#define PMJOIN_DCHECK_OK(expr) PMJOIN_CHECK_OK(expr)
+#else
+#define PMJOIN_DCHECK(cond, ...)     \
+  do {                               \
+    if (false) {                     \
+      static_cast<void>(cond);       \
+    }                                \
+  } while (false)
+#define PMJOIN_DCHECK_OK(expr)       \
+  do {                               \
+    if (false) {                     \
+      static_cast<void>(expr);       \
+    }                                \
+  } while (false)
+#endif  // PMJOIN_PARANOID
+
+#endif  // PMJOIN_COMMON_CHECK_H_

@@ -28,7 +28,7 @@ class PairSink {
 /// Counts pairs without storing them — the default for benchmarks.
 class CountingSink : public PairSink {
  public:
-  void OnPair(uint64_t r, uint64_t s) override { ++count_; }
+  void OnPair(uint64_t /*r*/, uint64_t /*s*/) override { ++count_; }
   uint64_t count() const { return count_; }
 
  private:
@@ -41,7 +41,7 @@ class CountingSink : public PairSink {
 /// within ε" instead of enumerating all pairs.
 class SemiJoinSink : public PairSink {
  public:
-  void OnPair(uint64_t r, uint64_t s) override { left_ids_.insert(r); }
+  void OnPair(uint64_t r, uint64_t /*s*/) override { left_ids_.insert(r); }
 
   /// The matched left-side ids (unordered).
   const std::unordered_set<uint64_t>& left_ids() const { return left_ids_; }

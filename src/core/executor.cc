@@ -4,6 +4,8 @@
 #include <optional>
 #include <utility>
 
+#include "common/check.h"
+
 namespace pmjoin {
 
 void JoinEntries(const JoinInput& input, std::span<const MatrixEntry> entries,
@@ -82,6 +84,9 @@ Status ExecuteSerial(const JoinInput& input,
     const Cluster& cluster = clusters[index];
     JoinEntries(input, cluster.entries, sink, ops);
     pool->UnpinBatch(pages);
+    // Phase boundary: the cluster's pins are released, the pool must be
+    // back in a self-consistent state (paranoid builds only).
+    PMJOIN_DCHECK_OK(pool->ValidateInvariants());
   }
   return Status::OK();
 }
@@ -162,6 +167,9 @@ Status ExecuteParallel(const JoinInput& input,
     op_shards.DrainInto(ops);
     pair_shards.Drain(sink);
     pool->UnpinBatch(current);
+    // Phase boundary: cluster i's pins are gone and its shards drained;
+    // only the (optional) prefetched batch may still hold pins.
+    PMJOIN_DCHECK_OK(pool->ValidateInvariants());
 
     if (have_next) {
       PMJOIN_RETURN_IF_ERROR(next_status);

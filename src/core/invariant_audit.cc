@@ -1,0 +1,74 @@
+#include "core/invariant_audit.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pmjoin {
+
+namespace {
+
+/// The distinct, ascending values of `xs` selected by `field` — what a
+/// cluster's row/col list must equal exactly.
+std::vector<uint32_t> DistinctFieldValues(const std::vector<MatrixEntry>& xs,
+                                          uint32_t MatrixEntry::*field) {
+  std::vector<uint32_t> out;
+  out.reserve(xs.size());
+  for (const MatrixEntry& e : xs) out.push_back(e.*field);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+Status ValidateSquareClusters(const PredictionMatrix& matrix,
+                              const std::vector<Cluster>& clusters,
+                              uint32_t buffer_pages) {
+  PMJOIN_RETURN_IF_ERROR(ValidateClustering(matrix, clusters, buffer_pages));
+  const uint32_t half = std::max<uint32_t>(1, buffer_pages / 2);
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    const Cluster& cluster = clusters[i];
+    if (cluster.rows != DistinctFieldValues(cluster.entries,
+                                            &MatrixEntry::row) ||
+        cluster.cols != DistinctFieldValues(cluster.entries,
+                                            &MatrixEntry::col)) {
+      std::ostringstream os;
+      os << "cluster " << i
+         << ": row/col lists are not exactly the entries' rows/cols";
+      return Status::Internal(os.str());
+    }
+    if (cluster.rows.size() > half) {
+      std::ostringstream os;
+      os << "unbalanced square cluster " << i << ": " << cluster.rows.size()
+         << " rows exceed the equal-split bound B/2 = " << half
+         << " (Theorem 2)";
+      return Status::Internal(os.str());
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateMatrixCoversPairs(
+    const PredictionMatrix& matrix, const VectorDataset& r,
+    const VectorDataset& s, bool self_join,
+    const std::vector<std::pair<uint64_t, uint64_t>>& reference_pairs) {
+  PMJOIN_RETURN_IF_ERROR(matrix.ValidateInvariants());
+  for (const auto& [rid, sid] : reference_pairs) {
+    const uint32_t r_page = r.PageOfOriginalId(rid);
+    const uint32_t s_page = s.PageOfOriginalId(sid);
+    bool covered = matrix.IsMarked(r_page, s_page);
+    // A self join emits each unordered pair once (rid < sid), but the
+    // marked entry may sit on either side of the diagonal.
+    if (!covered && self_join) covered = matrix.IsMarked(s_page, r_page);
+    if (!covered) {
+      std::ostringstream os;
+      os << "result pair (" << rid << ", " << sid << ") maps to page pair ("
+         << r_page << ", " << s_page
+         << ") which the matrix does not mark (Theorem 1 violated)";
+      return Status::Internal(os.str());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pmjoin

@@ -1,0 +1,49 @@
+#ifndef PMJOIN_CORE_INVARIANT_AUDIT_H_
+#define PMJOIN_CORE_INVARIANT_AUDIT_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cluster.h"
+#include "core/prediction_matrix.h"
+#include "data/vector_dataset.h"
+
+namespace pmjoin {
+
+/// Audits that tie the paper's theorems to the code's intermediate state.
+/// Each returns OK or an Internal status naming the first violation; they
+/// are called from tests, and through PMJOIN_DCHECK_OK at driver/executor
+/// phase boundaries in paranoid builds (-DPMJOIN_PARANOID=ON). See
+/// DESIGN.md "Invariants & checking" for the invariant-to-theorem map.
+
+/// Square-Clustering audit (Theorem 2 / Lemma 2, §7.1). On top of the
+/// structural checks of ValidateClustering (every marked entry assigned
+/// exactly once, entries consistent with row/col lists, Lemma-2 bound
+/// r + c <= B), enforces the SC shape guarantees:
+///  - the row/col lists are *exactly* the distinct rows/columns of the
+///    cluster's entries (no phantom pages inflating the Lemma-2 bound);
+///  - the row side never exceeds the equal-split target max(1, B/2) —
+///    Theorem 2 maximizes the per-cluster saving w − min{r, c} at r = c;
+///    columns may fill the remaining buffer space (Fig. 6 step e), so
+///    only the row cap is a hard bound.
+Status ValidateSquareClusters(const PredictionMatrix& matrix,
+                              const std::vector<Cluster>& clusters,
+                              uint32_t buffer_pages);
+
+/// Prediction-matrix completeness audit (Theorem 1 / Lemma 1). Maps each
+/// reference-join result pair (original record ids) back to its page pair
+/// and verifies the matrix marks it: an unmarked page pair provably
+/// contributes no result tuples, so every result pair must come from a
+/// marked pair. Quadratic-input scale only (the pairs come from the
+/// brute-force reference join); called by the invariant-audit tests on
+/// sampled inputs.
+Status ValidateMatrixCoversPairs(
+    const PredictionMatrix& matrix, const VectorDataset& r,
+    const VectorDataset& s, bool self_join,
+    const std::vector<std::pair<uint64_t, uint64_t>>& reference_pairs);
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_CORE_INVARIANT_AUDIT_H_

@@ -8,9 +8,11 @@
 #include "baselines/block_nlj.h"
 #include "baselines/ego.h"
 #include "baselines/pbsm.h"
+#include "common/check.h"
 #include "common/rng.h"
 #include "core/cost_clustering.h"
 #include "core/executor.h"
+#include "core/invariant_audit.h"
 #include "core/joiners.h"
 #include "core/plane_sweep.h"
 #include "core/pm_nlj.h"
@@ -88,7 +90,16 @@ Status RunMatrixAlgorithm(const JoinInput& input,
                            options.cc_histogram_resolution, &rng, ops);
       } else {
         clusters = SquareClustering(matrix, options.buffer_pages, ops);
+        // Phase boundary (paranoid builds): SC output must satisfy the
+        // Theorem 2 / Lemma 2 shape guarantees before execution.
+        PMJOIN_DCHECK_OK(
+            ValidateSquareClusters(matrix, clusters, options.buffer_pages));
       }
+      // Phase boundary (paranoid builds): whichever algorithm produced the
+      // clustering, every marked entry must be assigned exactly once and
+      // every cluster must fit the buffer (Lemma 2).
+      PMJOIN_DCHECK_OK(
+          ValidateClustering(matrix, clusters, options.buffer_pages));
       *num_clusters = clusters.size();
 
       std::vector<uint32_t> order;
@@ -170,6 +181,9 @@ Result<JoinReport> JoinDriver::RunVector(const VectorDataset& r,
     report.matrix_rows = matrix.rows();
     report.matrix_cols = matrix.cols();
     report.matrix_selectivity = matrix.Selectivity();
+    // Phase boundary (paranoid builds): the freshly built matrix must be
+    // finalized and structurally sound before any operator consumes it.
+    PMJOIN_DCHECK_OK(matrix.ValidateInvariants());
     st = RunMatrixAlgorithm(input, matrix, options, disk_->model(), disk_,
                             sink, &ops, &report.num_clusters);
   }
@@ -239,6 +253,9 @@ Result<JoinReport> JoinDriver::RunTimeSeries(const TimeSeriesStore& r,
     report.matrix_rows = matrix.rows();
     report.matrix_cols = matrix.cols();
     report.matrix_selectivity = matrix.Selectivity();
+    // Phase boundary (paranoid builds): the freshly built matrix must be
+    // finalized and structurally sound before any operator consumes it.
+    PMJOIN_DCHECK_OK(matrix.ValidateInvariants());
     st = RunMatrixAlgorithm(input, matrix, options, disk_->model(), disk_,
                             sink, &ops, &report.num_clusters);
   }
@@ -308,6 +325,9 @@ Result<JoinReport> JoinDriver::RunString(const StringSequenceStore& r,
     report.matrix_rows = matrix.rows();
     report.matrix_cols = matrix.cols();
     report.matrix_selectivity = matrix.Selectivity();
+    // Phase boundary (paranoid builds): the freshly built matrix must be
+    // finalized and structurally sound before any operator consumes it.
+    PMJOIN_DCHECK_OK(matrix.ValidateInvariants());
     st = RunMatrixAlgorithm(input, matrix, options, disk_->model(), disk_,
                             sink, &ops, &report.num_clusters);
   }

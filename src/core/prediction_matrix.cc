@@ -78,6 +78,27 @@ double PredictionMatrix::Selectivity() const {
   return grid == 0.0 ? 0.0 : double(marked_count_) / grid;
 }
 
+Status PredictionMatrix::ValidateInvariants() const {
+  if (!finalized_)
+    return Status::Internal("matrix queried before Finalize()");
+  if (row_entries_.size() != rows_)
+    return Status::Internal("row count does not match row storage");
+  uint64_t total = 0;
+  for (uint32_t r = 0; r < rows_; ++r) {
+    const std::vector<uint32_t>& cols = row_entries_[r];
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i] >= cols_)
+        return Status::Internal("marked column id out of range");
+      if (i > 0 && cols[i - 1] >= cols[i])
+        return Status::Internal("row entries not strictly ascending");
+    }
+    total += cols.size();
+  }
+  if (total != marked_count_)
+    return Status::Internal("marked_count does not match row storage");
+  return Status::OK();
+}
+
 std::string PredictionMatrix::ToDebugString() const {
   std::ostringstream os;
   os << rows_ << "x" << cols_ << " marked=" << marked_count_

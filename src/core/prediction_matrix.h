@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace pmjoin {
 
 /// One marked entry of the prediction matrix: page r of R × page s of S.
@@ -78,6 +80,15 @@ class PredictionMatrix {
   double Selectivity() const;
 
   std::string ToDebugString() const;
+
+  /// Structural audit: the matrix is finalized, every row's column list is
+  /// strictly ascending (sorted, deduplicated) with all ids < cols(), and
+  /// `MarkedCount()` equals the sum of row sizes. Completeness against the
+  /// join semantics (Theorem 1: marks ⊇ page pairs that contribute result
+  /// tuples) cannot be checked structurally; the invariant-audit tests
+  /// verify it against the brute-force reference join on sampled inputs.
+  /// Returns Internal describing the first violation found.
+  Status ValidateInvariants() const;
 
  private:
   uint32_t rows_;

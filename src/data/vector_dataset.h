@@ -65,6 +65,13 @@ class VectorDataset {
   /// Record lookup by original id (used by the reference join and tests).
   std::span<const float> RecordByOriginalId(uint64_t orig_id) const;
 
+  /// Page holding the record with original id `orig_id` (the inverse of
+  /// OriginalId; used by the invariant audits to map reference-join result
+  /// pairs back to page pairs).
+  uint32_t PageOfOriginalId(uint64_t orig_id) const {
+    return static_cast<uint32_t>(origin_pos_[orig_id] / records_per_page_);
+  }
+
   /// R*-tree over the page MBRs (leaf entry ids are page indices).
   const RStarTree& tree() const { return tree_; }
   RStarTree* mutable_tree() { return &tree_; }

@@ -104,6 +104,11 @@ class RStarTree {
   /// reachable exactly once. Used heavily by tests.
   Status CheckInvariants() const;
 
+  /// Canonical audit name shared by all stateful cores (BufferPool,
+  /// PredictionMatrix, the clustering validators); forwards to
+  /// CheckInvariants().
+  Status ValidateInvariants() const { return CheckInvariants(); }
+
  private:
   uint32_t NewNode(uint32_t level);
   void RecomputeMbr(uint32_t node_id);

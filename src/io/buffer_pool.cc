@@ -130,6 +130,38 @@ bool BufferPool::IsEvictable(PageId pid) const {
   return it != frames_.end() && it->second.pin_count == 0;
 }
 
+Status BufferPool::ValidateInvariants() const {
+  if (frames_.size() > capacity_)
+    return Status::Internal("resident pages exceed capacity");
+  uint32_t pinned = 0;
+  size_t in_lru = 0;
+  for (const auto& [pid, frame] : frames_) {
+    if (frame.pin_count > 0) {
+      ++pinned;
+      if (frame.in_lru)
+        return Status::Internal("pinned page present in LRU list");
+    } else {
+      if (!frame.in_lru)
+        return Status::Internal("unpinned resident page missing from LRU");
+      if (frame.lru_pos == lru_.end() || !(*frame.lru_pos == pid))
+        return Status::Internal("LRU back-pointer names the wrong page");
+      ++in_lru;
+    }
+  }
+  if (pinned != pinned_count_)
+    return Status::Internal("pinned_count does not match per-frame pins");
+  if (in_lru != lru_.size())
+    return Status::Internal("LRU list size does not match unpinned frames");
+  for (const PageId& pid : lru_) {
+    auto it = frames_.find(pid);
+    if (it == frames_.end())
+      return Status::Internal("LRU entry is not resident");
+    if (it->second.pin_count != 0)
+      return Status::Internal("LRU entry is pinned");
+  }
+  return Status::OK();
+}
+
 Status BufferPool::Clear() {
   if (pinned_count_ > 0)
     return Status::Internal("Clear with pinned pages outstanding");

@@ -74,6 +74,15 @@ class BufferPool {
   /// Fails if any page is still pinned.
   Status Clear();
 
+  /// Full structural audit of the pool's bookkeeping: residency never
+  /// exceeds capacity, `PinnedCount()` equals the number of frames with a
+  /// positive pin count, and the LRU list holds exactly the unpinned
+  /// resident pages (each once, with back-pointers consistent). O(resident)
+  /// — called from tests, and at executor phase boundaries in paranoid
+  /// builds (-DPMJOIN_PARANOID=ON). Returns Internal describing the first
+  /// violation found.
+  Status ValidateInvariants() const;
+
   uint32_t capacity() const { return capacity_; }
   uint32_t ResidentCount() const { return static_cast<uint32_t>(frames_.size()); }
   uint32_t PinnedCount() const { return pinned_count_; }

@@ -1,0 +1,50 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace pmjoin {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  PMJOIN_CHECK(1 + 1 == 2);
+  PMJOIN_CHECK(true, "detail ", 42, " never rendered");
+  PMJOIN_CHECK_OK(Status::OK());
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(PMJOIN_CHECK(false), "PMJOIN_CHECK failed");
+}
+
+TEST(CheckDeathTest, FailingCheckRendersDetail) {
+  EXPECT_DEATH(PMJOIN_CHECK(2 < 1, "got ", 2, " vs ", 1),
+               "got 2 vs 1");
+}
+
+TEST(CheckDeathTest, FailingCheckOkRendersStatus) {
+  EXPECT_DEATH(PMJOIN_CHECK_OK(Status::Internal("seeded violation")),
+               "seeded violation");
+}
+
+TEST(CheckTest, DcheckMatchesBuildMode) {
+#ifdef PMJOIN_PARANOID
+  EXPECT_DEATH(PMJOIN_DCHECK(false, "paranoid audit"), "paranoid audit");
+  EXPECT_DEATH(PMJOIN_DCHECK_OK(Status::Internal("paranoid status")),
+               "paranoid status");
+#else
+  // Compiled to nothing: the condition must not even be evaluated.
+  bool evaluated = false;
+  auto touch = [&evaluated] {
+    evaluated = true;
+    return false;
+  };
+  PMJOIN_DCHECK(touch());
+  PMJOIN_DCHECK_OK(
+      (evaluated = true, Status::Internal("never constructed")));
+  EXPECT_FALSE(evaluated);
+#endif
+}
+
+}  // namespace
+}  // namespace pmjoin

@@ -1,0 +1,192 @@
+#include "core/invariant_audit.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/square_clustering.h"
+#include "io/buffer_pool.h"
+#include "join_test_util.h"
+
+namespace pmjoin {
+namespace {
+
+PredictionMatrix RandomMatrix(Rng* rng, uint32_t rows, uint32_t cols,
+                              double density) {
+  PredictionMatrix m(rows, cols);
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      if (rng->Bernoulli(density)) m.Mark(r, c);
+    }
+  }
+  m.Finalize();
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// PredictionMatrix structural audit.
+
+TEST(PredictionMatrixAuditTest, FinalizedMatrixPasses) {
+  Rng rng(7);
+  const PredictionMatrix m = RandomMatrix(&rng, 20, 30, 0.2);
+  EXPECT_TRUE(m.ValidateInvariants().ok());
+}
+
+TEST(PredictionMatrixAuditTest, UnfinalizedMatrixIsCaught) {
+  PredictionMatrix m(4, 4);
+  m.Mark(1, 2);  // Mark without Finalize: queries would see garbage.
+  const Status st = m.ValidateInvariants();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInternal());
+}
+
+// ---------------------------------------------------------------------------
+// Square-clustering audit (Theorem 2 balance, Lemma 2 bound).
+
+TEST(SquareClusteringAuditTest, ScOutputPassesOnRandomMatrices) {
+  Rng rng(11);
+  for (uint32_t buffer : {2u, 4u, 10u, 31u}) {
+    const PredictionMatrix m = RandomMatrix(&rng, 40, 40, 0.15);
+    const std::vector<Cluster> clusters = SquareClustering(m, buffer,
+                                                           nullptr);
+    EXPECT_TRUE(ValidateSquareClusters(m, clusters, buffer).ok())
+        << "buffer=" << buffer;
+  }
+}
+
+/// Builds the one-cluster clustering over a (rows x 1) column matrix —
+/// every row marked in column 0 — used to seed shape violations.
+std::pair<PredictionMatrix, Cluster> ColumnMatrixCluster(uint32_t rows) {
+  PredictionMatrix m(rows, 1);
+  Cluster cluster;
+  for (uint32_t r = 0; r < rows; ++r) {
+    m.Mark(r, 0);
+    cluster.rows.push_back(r);
+    cluster.entries.push_back(MatrixEntry{r, 0});
+  }
+  cluster.cols.push_back(0);
+  m.Finalize();
+  return {std::move(m), std::move(cluster)};
+}
+
+TEST(SquareClusteringAuditTest, SeededUnbalancedClusterIsCaught) {
+  // 4 rows x 1 column in one cluster: PageCount 5 fits B = 6 (Lemma 2
+  // holds) but the row side exceeds the equal-split bound B/2 = 3 — the
+  // unbalanced shape Theorem 2 rules out for SC output.
+  auto [m, cluster] = ColumnMatrixCluster(4);
+  std::vector<Cluster> clusters{std::move(cluster)};
+  EXPECT_TRUE(ValidateClustering(m, clusters, 6).ok())
+      << "violation must be invisible to the generic clustering check";
+  const Status st = ValidateSquareClusters(m, clusters, 6);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("unbalanced square cluster"),
+            std::string::npos)
+      << st.ToString();
+}
+
+TEST(SquareClusteringAuditTest, PhantomPageInRowListIsCaught) {
+  // A row listed without any entry would inflate the Lemma-2 page bound
+  // silently; the exactness check rejects it.
+  auto [m, cluster] = ColumnMatrixCluster(2);
+  cluster.rows.push_back(2);  // Phantom: matrix has only rows 0..1 marked.
+  std::vector<Cluster> clusters{std::move(cluster)};
+  const Status st = ValidateSquareClusters(m, clusters, 8);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("not exactly"), std::string::npos)
+      << st.ToString();
+}
+
+#ifdef PMJOIN_PARANOID
+TEST(SquareClusteringAuditDeathTest, ParanoidBuildAbortsOnSeededViolation) {
+  // The same audit wired into the driver's phase boundary
+  // (core/join_driver.cc) through PMJOIN_DCHECK_OK: in a paranoid build a
+  // seeded unbalanced cluster must abort, not propagate.
+  auto [m, cluster] = ColumnMatrixCluster(4);
+  std::vector<Cluster> clusters{std::move(cluster)};
+  EXPECT_DEATH(PMJOIN_DCHECK_OK(ValidateSquareClusters(m, clusters, 6)),
+               "unbalanced square cluster");
+}
+#endif  // PMJOIN_PARANOID
+
+// ---------------------------------------------------------------------------
+// Matrix-covers-reference-pairs audit (Theorem 1 / Lemma 1 completeness).
+
+TEST(MatrixCoverageAuditTest, ExactMatrixCoversReferencePairs) {
+  testing_util::SmallVectorJoin join(60, 50, /*seed=*/3, /*eps=*/0.05);
+  const auto expected = join.Expected();
+  ASSERT_FALSE(expected.empty()) << "sample input produced no pairs";
+  EXPECT_TRUE(ValidateMatrixCoversPairs(join.matrix(), join.r(), join.s(),
+                                        /*self_join=*/false, expected)
+                  .ok());
+}
+
+TEST(MatrixCoverageAuditTest, EmptyMatrixFailsCoverage) {
+  testing_util::SmallVectorJoin join(60, 50, /*seed=*/3, /*eps=*/0.05);
+  const auto expected = join.Expected();
+  ASSERT_FALSE(expected.empty());
+  // A matrix that marks nothing claims (Theorem 1) that no page pair can
+  // contribute results — refuted by every reference pair.
+  PredictionMatrix empty(join.r().num_pages(), join.s().num_pages());
+  empty.Finalize();
+  const Status st = ValidateMatrixCoversPairs(empty, join.r(), join.s(),
+                                              /*self_join=*/false, expected);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("Theorem 1"), std::string::npos)
+      << st.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool bookkeeping audit across its state transitions.
+
+TEST(BufferPoolAuditTest, InvariantsHoldAcrossPinEvictUnpinCycles) {
+  SimulatedDisk disk;
+  const uint32_t file = disk.CreateFile("data", 64);
+  BufferPool pool(&disk, 4);
+  ASSERT_TRUE(pool.ValidateInvariants().ok());
+
+  // Fill, pin, evict, unpin, batch-pin: audit after every transition.
+  for (uint32_t p = 0; p < 4; ++p) {
+    ASSERT_TRUE(pool.Touch({file, p}).ok());
+    ASSERT_TRUE(pool.ValidateInvariants().ok());
+  }
+  ASSERT_TRUE(pool.Pin({file, 1}).ok());
+  ASSERT_TRUE(pool.ValidateInvariants().ok());
+  ASSERT_TRUE(pool.Touch({file, 9}).ok());  // Evicts an unpinned page.
+  ASSERT_TRUE(pool.ValidateInvariants().ok());
+  pool.Unpin({file, 1});
+  ASSERT_TRUE(pool.ValidateInvariants().ok());
+
+  const std::vector<PageId> batch{{file, 20}, {file, 21}, {file, 22}};
+  ASSERT_TRUE(pool.PinBatch(batch).ok());
+  ASSERT_TRUE(pool.ValidateInvariants().ok());
+  pool.UnpinBatch(batch);
+  ASSERT_TRUE(pool.ValidateInvariants().ok());
+  ASSERT_TRUE(pool.Clear().ok());
+  EXPECT_TRUE(pool.ValidateInvariants().ok());
+}
+
+TEST(BufferPoolAuditTest, InvariantsHoldAfterFailedBatchRollback) {
+  SimulatedDisk disk;
+  const uint32_t file = disk.CreateFile("data", 64);
+  BufferPool pool(&disk, 3);
+  ASSERT_TRUE(pool.Pin({file, 0}).ok());
+  ASSERT_TRUE(pool.Pin({file, 1}).ok());
+  // Batch of 3 misses cannot fit beside 2 pinned pages: PinBatch fails
+  // and rolls its own pins back; the audit must still pass afterwards.
+  const std::vector<PageId> batch{{file, 10}, {file, 11}, {file, 12}};
+  const Status st = pool.PinBatch(batch);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsBufferFull());
+  EXPECT_TRUE(pool.ValidateInvariants().ok());
+  EXPECT_EQ(pool.PinnedCount(), 2u);
+  pool.Unpin({file, 0});
+  pool.Unpin({file, 1});
+  EXPECT_TRUE(pool.ValidateInvariants().ok());
+}
+
+}  // namespace
+}  // namespace pmjoin

@@ -106,8 +106,13 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(3u, 16u)),
     [](const ::testing::TestParamInfo<std::tuple<uint32_t, uint32_t>>&
            info) {
-      return "L" + std::to_string(std::get<0>(info.param)) + "_B" +
-             std::to_string(std::get<1>(info.param));
+      // Built with += to sidestep GCC 12's -Wrestrict false positive on
+      // operator+(const char*, std::string&&) (GCC PR 105651).
+      std::string name = "L";
+      name += std::to_string(std::get<0>(info.param));
+      name += "_B";
+      name += std::to_string(std::get<1>(info.param));
+      return name;
     });
 
 /// PAA-dims × window sweep for the time-series subsequence join: the
@@ -149,8 +154,11 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(2u, 4u, 8u)),
     [](const ::testing::TestParamInfo<std::tuple<uint32_t, uint32_t>>&
            info) {
-      return "L" + std::to_string(std::get<0>(info.param)) + "_f" +
-             std::to_string(std::get<1>(info.param));
+      std::string name = "L";
+      name += std::to_string(std::get<0>(info.param));
+      name += "_f";
+      name += std::to_string(std::get<1>(info.param));
+      return name;
     });
 
 }  // namespace

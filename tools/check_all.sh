@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# One-shot correctness-tooling driver: project lint + clang-format check +
+# clang-tidy over the exported compile database. CI runs the same three
+# stages (see .github/workflows/ci.yml); locally, stages whose tool is not
+# installed are skipped with a warning so the script is useful on minimal
+# containers (the repo image ships only the compiler toolchain).
+#
+# Usage: tools/check_all.sh [build-dir]
+#   build-dir: a CMake build directory with compile_commands.json
+#              (default: build; configured automatically if missing).
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build}"
+FAILED=0
+
+note() { printf '== %s\n' "$*"; }
+skip() { printf '!! %s -- skipped\n' "$*"; }
+
+# 1. Project linter (no dependencies beyond python3).
+note "pmjoin_lint"
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$ROOT/tools/pmjoin_lint.py" || FAILED=1
+else
+  skip "python3 not found"
+fi
+
+# Source files for the format stage.
+mapfile -t SOURCES < <(find "$ROOT/src" "$ROOT/tests" "$ROOT/bench" \
+  "$ROOT/examples" -name '*.h' -o -name '*.cc' -o -name '*.cpp' | sort)
+
+# 2. clang-format (check only; run with -i manually to apply).
+note "clang-format --dry-run"
+if command -v clang-format >/dev/null 2>&1; then
+  clang-format --dry-run --Werror "${SOURCES[@]}" || FAILED=1
+else
+  skip "clang-format not found"
+fi
+
+# 3. clang-tidy over the compile database.
+note "clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    note "configuring $BUILD_DIR for compile_commands.json"
+    cmake -B "$BUILD_DIR" -S "$ROOT" >/dev/null || FAILED=1
+  fi
+  if [ -f "$BUILD_DIR/compile_commands.json" ]; then
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+      run-clang-tidy -quiet -p "$BUILD_DIR" \
+        "$ROOT/(src|bench|examples)/.*" || FAILED=1
+    else
+      # Serial fallback: library sources only (the expensive part).
+      find "$ROOT/src" -name '*.cc' | sort | while read -r f; do
+        clang-tidy -quiet -p "$BUILD_DIR" "$f" || exit 1
+      done || FAILED=1
+    fi
+  else
+    skip "no compile_commands.json in $BUILD_DIR"
+  fi
+else
+  skip "clang-tidy not found"
+fi
+
+if [ "$FAILED" -ne 0 ]; then
+  echo "check_all: FAILED"
+  exit 1
+fi
+echo "check_all: OK"

@@ -1,0 +1,286 @@
+#!/usr/bin/env python3
+"""pmjoin project linter: repo-specific rules clang-tidy cannot express.
+
+Rules (see DESIGN.md "Invariants & checking"):
+
+  no-throw          No exception may cross the public Status/Result API, so
+                    `throw` / `try` / `catch` are banned outright in src/,
+                    bench/, and examples/ (errors travel as Status; fatal
+                    invariant violations abort via PMJOIN_CHECK).
+  determinism       Every experiment must be exactly reproducible: no
+                    rand()/srand(), std::random_device, wall-clock or
+                    monotonic clock reads, or getenv() in src/ outside the
+                    seeded generator src/common/rng.*.
+  io-accounting     IoStats is the single source of truth for every I/O
+                    figure. Counter mutation (mutable_stats) is restricted
+                    to the accounting owners (SimulatedDisk, BufferPool),
+                    and direct disk access (ReadPage/ReadRun/WritePage/
+                    ScanFile) is restricted to src/io/ and the sequential
+                    baseline phases in src/baselines/ — core operators must
+                    go through the BufferPool so buffer accounting stays
+                    truthful.
+  include-hygiene   Header guards match the file path (PMJOIN_<PATH>_H_),
+                    each src/ .cc includes its own header first, no "../"
+                    includes, no angle-bracket includes of project headers.
+  whitespace        No tabs, no trailing whitespace, newline at EOF.
+
+Usage: tools/pmjoin_lint.py [--root DIR] [paths...]
+Exits non-zero iff any finding is reported.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+DEFAULT_SCAN_DIRS = ("src", "tests", "bench", "examples")
+
+# Rules that only make sense for (or are only enforced on) library code.
+NO_THROW_DIRS = ("src", "bench", "examples")
+DETERMINISM_DIR = "src"
+DETERMINISM_ALLOWED = ("src/common/rng.h", "src/common/rng.cc")
+MUTABLE_STATS_ALLOWED = (
+    "src/io/simulated_disk.h",
+    "src/io/simulated_disk.cc",
+    "src/io/buffer_pool.cc",
+)
+DIRECT_DISK_ALLOWED_PREFIXES = ("src/io/", "src/baselines/")
+
+THROW_RE = re.compile(r"\b(throw|try|catch)\b")
+DETERMINISM_RE = re.compile(
+    r"\b(s?rand\s*\(|std::random_device|random_device\s+\w|time\s*\(\s*(NULL|nullptr|0)\s*\)"
+    r"|system_clock|steady_clock|high_resolution_clock|getenv\s*\()"
+)
+MUTABLE_STATS_RE = re.compile(r"\bmutable_stats\s*\(")
+DIRECT_DISK_RE = re.compile(r"(->|\.)\s*(ReadPage|ReadRun|WritePage|ScanFile)\s*\(")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
+GUARD_RE = re.compile(r"^\s*#\s*ifndef\s+(\S+)")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Replaces comment and string/char-literal contents with spaces,
+    preserving line structure so reported line numbers stay exact."""
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if ch == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+                continue
+            if ch == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+                continue
+            out.append(ch)
+        elif state == "line_comment":
+            if ch == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if ch == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if ch == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if ch == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if ch == quote:
+                state = "code"
+                out.append(quote)
+            elif ch == "\n":  # unterminated; fail safe
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def expected_guard(rel_path):
+    stem = rel_path[len("src/"):] if rel_path.startswith("src/") else rel_path
+    token = re.sub(r"[^A-Za-z0-9]", "_", stem[:-2])  # strip ".h"
+    return f"PMJOIN_{token.upper()}_H_"
+
+
+def in_dirs(rel_path, dirs):
+    return any(rel_path == d or rel_path.startswith(d + "/") for d in dirs)
+
+
+def lint_file(root, rel_path):
+    findings = []
+    abs_path = os.path.join(root, rel_path)
+    with open(abs_path, encoding="utf-8") as f:
+        raw = f.read()
+    code = strip_comments_and_strings(raw)
+    raw_lines = raw.split("\n")
+    code_lines = code.split("\n")
+
+    # whitespace ------------------------------------------------------------
+    for lineno, line in enumerate(raw_lines, 1):
+        if "\t" in line:
+            findings.append(Finding(rel_path, lineno, "whitespace", "tab character"))
+        if line != line.rstrip():
+            findings.append(
+                Finding(rel_path, lineno, "whitespace", "trailing whitespace"))
+    if raw and not raw.endswith("\n"):
+        findings.append(
+            Finding(rel_path, len(raw_lines), "whitespace", "missing newline at EOF"))
+
+    # token rules over comment/string-stripped code -------------------------
+    for lineno, line in enumerate(code_lines, 1):
+        if in_dirs(rel_path, NO_THROW_DIRS):
+            m = THROW_RE.search(line)
+            if m:
+                findings.append(Finding(
+                    rel_path, lineno, "no-throw",
+                    f"'{m.group(1)}': exceptions are banned; return Status "
+                    "(common/status.h) or abort via PMJOIN_CHECK"))
+        if (in_dirs(rel_path, (DETERMINISM_DIR,))
+                and rel_path not in DETERMINISM_ALLOWED):
+            m = DETERMINISM_RE.search(line)
+            if m:
+                findings.append(Finding(
+                    rel_path, lineno, "determinism",
+                    f"'{m.group(0).strip()}': unseeded nondeterminism; route "
+                    "all randomness through a seeded pmjoin::Rng "
+                    "(src/common/rng.h)"))
+        if rel_path.startswith("src/"):
+            if (MUTABLE_STATS_RE.search(line)
+                    and rel_path not in MUTABLE_STATS_ALLOWED):
+                findings.append(Finding(
+                    rel_path, lineno, "io-accounting",
+                    "mutable_stats() outside the accounting owners "
+                    "(SimulatedDisk / BufferPool); counters must only be "
+                    "mutated where the I/O is performed"))
+            m = DIRECT_DISK_RE.search(line)
+            if m and not rel_path.startswith(DIRECT_DISK_ALLOWED_PREFIXES):
+                findings.append(Finding(
+                    rel_path, lineno, "io-accounting",
+                    f"direct disk access '{m.group(2)}' outside src/io/ and "
+                    "src/baselines/; operators must read through the "
+                    "BufferPool so residency accounting stays truthful"))
+
+    # include hygiene -------------------------------------------------------
+    # Directives are detected on the comment-stripped text (so commented-out
+    # includes don't count) but targets are read from the raw line (the
+    # stripper blanks string contents).
+    includes = []  # (lineno, style, target)
+    for lineno, line in enumerate(code_lines, 1):
+        if INCLUDE_RE.match(line):
+            m = INCLUDE_RE.match(raw_lines[lineno - 1])
+            if m:
+                includes.append((lineno, m.group(1), m.group(2)))
+    for lineno, style, target in includes:
+        if target.startswith("../"):
+            findings.append(Finding(
+                rel_path, lineno, "include-hygiene",
+                f'relative include "{target}"; include project headers by '
+                "their src/-relative path"))
+        if style == "<" and os.path.exists(os.path.join(root, "src", target)):
+            findings.append(Finding(
+                rel_path, lineno, "include-hygiene",
+                f"project header <{target}> included with angle brackets; "
+                "use quotes"))
+
+    if rel_path.startswith("src/"):
+        if rel_path.endswith(".h"):
+            guards = [(ln, GUARD_RE.match(l).group(1))
+                      for ln, l in enumerate(code_lines, 1) if GUARD_RE.match(l)]
+            want = expected_guard(rel_path)
+            if not guards:
+                findings.append(Finding(
+                    rel_path, 1, "include-hygiene",
+                    f"missing header guard (expected {want})"))
+            elif guards[0][1] != want:
+                findings.append(Finding(
+                    rel_path, guards[0][0], "include-hygiene",
+                    f"header guard {guards[0][1]} should be {want}"))
+        if rel_path.endswith(".cc"):
+            own = rel_path[len("src/"):-len(".cc")] + ".h"
+            if os.path.exists(os.path.join(root, "src", own)):
+                if not includes or includes[0][2] != own:
+                    findings.append(Finding(
+                        rel_path, includes[0][0] if includes else 1,
+                        "include-hygiene",
+                        f'first include must be the own header "{own}"'))
+
+    return findings
+
+
+def collect_files(root, paths):
+    rels = []
+    if paths:
+        for p in paths:
+            # Interpret explicit paths relative to --root first (the form
+            # check_all.sh and CI use), falling back to the cwd.
+            if not os.path.isabs(p) and os.path.exists(os.path.join(root, p)):
+                rels.append(p)
+            else:
+                rels.append(os.path.relpath(os.path.abspath(p), root))
+        return rels
+    for d in DEFAULT_SCAN_DIRS:
+        for dirpath, _, names in os.walk(os.path.join(root, d)):
+            for name in sorted(names):
+                if name.endswith((".h", ".cc", ".cpp")):
+                    rels.append(os.path.relpath(os.path.join(dirpath, name), root))
+    return sorted(rels)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("paths", nargs="*",
+                        help="files to lint (default: src tests bench examples)")
+    parser.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: parent of tools/)")
+    args = parser.parse_args()
+
+    all_findings = []
+    for rel in collect_files(args.root, args.paths):
+        all_findings.extend(lint_file(args.root, rel))
+
+    for finding in all_findings:
+        print(finding)
+    if all_findings:
+        print(f"pmjoin_lint: {len(all_findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,12 +4,28 @@
 // clustering algorithms, and the serial-vs-parallel cluster-join executor
 // sweep. These guard the constants behind the CPU cost model
 // (common/cost_model.h).
+//
+// The binary also carries the distance-kernel sweep (scalar reference vs
+// the batched kernel layer, per norm x dims), run before the
+// google-benchmark suite. In --json mode the sweep's rows are mirrored to
+// BENCH_kernels.json so CI's bench-smoke job can diff them against
+// bench/BENCH_kernels.baseline.json with tools/bench_compare.py.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
+#include <span>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
+#include "geom/distance.h"
+#include "geom/distance_kernels.h"
+#include "harness/bench_util.h"
 #include "common/thread_pool.h"
 #include "core/cost_clustering.h"
 #include "core/executor.h"
@@ -317,7 +333,166 @@ void BM_JoinStringPages(benchmark::State& state) {
 }
 BENCHMARK(BM_JoinStringPages);
 
+// --- Distance-kernel sweep (scalar reference vs kernel layer) ----------
+//
+// One query record against a block, the inner loop of JoinPages: the
+// scalar side is the pre-kernel path (per-pair WithinDistance over
+// unpadded rows), the tiled side is kernels::CountWithinBlock over the
+// padded PageBlock layout. Both must agree on every count — the sweep
+// aborts if they do not, so the benchmark doubles as an end-to-end
+// decision check at throughput-sized inputs.
+
+/// Seconds consumed by `fn()` repeated `iters` times.
+template <typename Fn>
+double TimeSeconds(uint32_t iters, Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  for (uint32_t it = 0; it < iters; ++it) fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+/// Repeats `fn` until it has run for at least `min_seconds` total, then
+/// returns the per-run seconds (adaptive iteration count so quick runs on
+/// fast kernels still measure above timer resolution).
+template <typename Fn>
+double SecondsPerRun(double min_seconds, Fn&& fn) {
+  uint32_t iters = 1;
+  for (;;) {
+    const double elapsed = TimeSeconds(iters, fn);
+    if (elapsed >= min_seconds || iters >= (1u << 24))
+      return elapsed / iters;
+    iters = elapsed <= 0.0
+                ? iters * 16
+                : std::max(iters * 2,
+                           static_cast<uint32_t>(
+                               iters * (min_seconds / elapsed) * 1.2));
+  }
+}
+
+std::string FormatRate(double per_sec) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", per_sec);
+  return buf;
+}
+
+void RunKernelSweep(const bench::BenchArgs& args) {
+  const uint32_t rows = args.quick ? 1024 : 4096;
+  const uint32_t queries = args.quick ? 8 : 32;
+  const double min_measure_sec = args.quick ? 0.002 : 0.02;
+  const size_t kDims[] = {8, 16, 32, 64};
+  const Norm kNorms[] = {Norm::kL1, Norm::kL2, Norm::kLInf};
+
+  bench::PrintTableHeader(
+      "distance_kernels",
+      {"rec_s_scalar", "rec_s_tiled", "terms_s_scalar", "terms_s_tiled",
+       "speedup", "simd"});
+
+  for (const size_t dims : kDims) {
+    const uint32_t stride = kernels::PaddedWidth(dims);
+    // One shared point cloud per dims: tight rows for the scalar path,
+    // padded rows (the PageBlock layout) for the kernels.
+    Rng rng(0xD157 + dims);
+    std::vector<float> tight(size_t(rows) * dims);
+    for (float& v : tight) v = static_cast<float>(rng.UniformDouble());
+    std::vector<float> padded(size_t(rows) * stride, 0.0f);
+    for (uint32_t j = 0; j < rows; ++j) {
+      std::copy_n(tight.data() + size_t(j) * dims, dims,
+                  padded.data() + size_t(j) * stride);
+    }
+    std::vector<float> q_tight(size_t(queries) * dims);
+    for (float& v : q_tight) v = static_cast<float>(rng.UniformDouble());
+    std::vector<float> q_padded(size_t(queries) * stride, 0.0f);
+    for (uint32_t q = 0; q < queries; ++q) {
+      std::copy_n(q_tight.data() + size_t(q) * dims, dims,
+                  q_padded.data() + size_t(q) * stride);
+    }
+    const kernels::BlockView block{padded.data(), rows, stride};
+
+    for (const Norm norm : kNorms) {
+      // eps at the median sampled query-row distance: roughly half the
+      // rows pass, so neither path spends the sweep early-abandoning.
+      std::vector<double> sample;
+      const uint32_t sample_rows = std::min<uint32_t>(rows, 256);
+      for (uint32_t q = 0; q < std::min<uint32_t>(queries, 8); ++q) {
+        for (uint32_t j = 0; j < sample_rows; ++j) {
+          sample.push_back(VectorDistance(
+              {q_tight.data() + size_t(q) * dims, dims},
+              {tight.data() + size_t(j) * dims, dims}, norm));
+        }
+      }
+      std::nth_element(sample.begin(), sample.begin() + sample.size() / 2,
+                       sample.end());
+      const double eps = sample[sample.size() / 2];
+
+      uint64_t scalar_count = 0;
+      const double scalar_sec = SecondsPerRun(min_measure_sec, [&]() {
+        uint64_t count = 0;
+        for (uint32_t q = 0; q < queries; ++q) {
+          const std::span<const float> x(q_tight.data() + size_t(q) * dims,
+                                         dims);
+          for (uint32_t j = 0; j < rows; ++j) {
+            count += WithinDistance(
+                x, {tight.data() + size_t(j) * dims, dims}, norm, eps);
+          }
+        }
+        benchmark::DoNotOptimize(count);
+        scalar_count = count;
+      });
+
+      uint64_t tiled_count = 0;
+      const double tiled_sec = SecondsPerRun(min_measure_sec, [&]() {
+        uint64_t count = 0;
+        for (uint32_t q = 0; q < queries; ++q) {
+          count += kernels::CountWithinBlock(
+              q_padded.data() + size_t(q) * stride, block, dims, norm, eps);
+        }
+        benchmark::DoNotOptimize(count);
+        tiled_count = count;
+      });
+
+      if (scalar_count != tiled_count) {
+        std::fprintf(stderr,
+                     "FATAL: kernel sweep mismatch (%s d=%zu): scalar=%llu "
+                     "tiled=%llu\n",
+                     NormName(norm).c_str(), dims,
+                     static_cast<unsigned long long>(scalar_count),
+                     static_cast<unsigned long long>(tiled_count));
+        std::exit(1);
+      }
+
+      const double pairs = double(queries) * rows;
+      bench::PrintTableRow(
+          {NormName(norm) + "/d" + std::to_string(dims),
+           FormatRate(pairs / scalar_sec), FormatRate(pairs / tiled_sec),
+           FormatRate(pairs * double(dims) / scalar_sec),
+           FormatRate(pairs * double(dims) / tiled_sec),
+           FormatRate(scalar_sec / tiled_sec),
+           kernels::HasExplicitSimd() ? "1" : "0"});
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pmjoin
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const pmjoin::bench::BenchArgs args =
+      pmjoin::bench::BenchArgs::Parse(argc, argv);
+  std::FILE* tee = nullptr;
+  if (args.json) {
+    tee = std::fopen("BENCH_kernels.json", "w");
+    pmjoin::bench::SetJsonTee(tee);
+  }
+  pmjoin::RunKernelSweep(args);
+  pmjoin::bench::SetJsonTee(nullptr);
+  if (tee != nullptr) std::fclose(tee);
+  // The google-benchmark suite runs after the sweep; --quick keeps smoke
+  // runs to the sweep alone. Initialize() consumes the --benchmark* flags
+  // and ignores the harness flags BenchArgs already handled.
+  if (!args.quick) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return 0;
+}

@@ -143,8 +143,19 @@ constexpr int kLabelWidth = 18;
 // JSON-mode state: the current table's title and column names, captured by
 // PrintTableHeader so rows can be keyed by column.
 bool json_output = false;
+std::FILE* json_tee = nullptr;
 std::string json_table_title;
 std::vector<std::string> json_table_columns;
+
+/// Prints one JSON Lines record to stdout and, when set, the tee file.
+void EmitJsonLine(const std::string& line) {
+  std::fputs(line.c_str(), stdout);
+  std::fputc('\n', stdout);
+  if (json_tee != nullptr) {
+    std::fputs(line.c_str(), json_tee);
+    std::fputc('\n', json_tee);
+  }
+}
 
 std::string JsonEscape(const std::string& s) {
   std::string out;
@@ -175,18 +186,23 @@ std::string JsonValue(const std::string& cell) {
 
 void SetJsonOutput(bool enabled) { json_output = enabled; }
 
+void SetJsonTee(std::FILE* tee) { json_tee = tee; }
+
 void PrintTableHeader(const std::string& title,
                       const std::vector<std::string>& columns) {
   if (json_output) {
     json_table_title = title;
     json_table_columns = columns;
-    std::printf("{\"table\": \"%s\", \"columns\": [",
-                JsonEscape(title).c_str());
+    std::string line = "{\"table\": \"" + JsonEscape(title) +
+                       "\", \"columns\": [";
     for (size_t i = 0; i < columns.size(); ++i) {
-      std::printf("%s\"%s\"", i == 0 ? "" : ", ",
-                  JsonEscape(columns[i]).c_str());
+      if (i != 0) line += ", ";
+      line += '"';
+      line += JsonEscape(columns[i]);
+      line += '"';
     }
-    std::printf("]}\n");
+    line += "]}";
+    EmitJsonLine(line);
     return;
   }
   std::printf("\n=== %s ===\n", title.c_str());
@@ -202,17 +218,16 @@ void PrintTableHeader(const std::string& title,
 
 void PrintTableRow(const std::vector<std::string>& cells) {
   if (json_output) {
-    std::printf("{\"table\": \"%s\"", JsonEscape(json_table_title).c_str());
-    if (!cells.empty())
-      std::printf(", \"label\": %s", JsonValue(cells[0]).c_str());
+    std::string line = "{\"table\": \"" + JsonEscape(json_table_title) + '"';
+    if (!cells.empty()) line += ", \"label\": " + JsonValue(cells[0]);
     for (size_t i = 1; i < cells.size(); ++i) {
       const std::string key = i - 1 < json_table_columns.size()
                                   ? json_table_columns[i - 1]
                                   : "col" + std::to_string(i - 1);
-      std::printf(", \"%s\": %s", JsonEscape(key).c_str(),
-                  JsonValue(cells[i]).c_str());
+      line += ", \"" + JsonEscape(key) + "\": " + JsonValue(cells[i]);
     }
-    std::printf("}\n");
+    line += '}';
+    EmitJsonLine(line);
     return;
   }
   if (!cells.empty()) std::printf("%-*s", kLabelWidth, cells[0].c_str());
@@ -258,7 +273,7 @@ void PrintReportRow(const std::string& label, const JoinReport& report) {
 
 void PrintPaperNote(const std::string& note) {
   if (json_output) {
-    std::printf("{\"paper_note\": \"%s\"}\n", JsonEscape(note).c_str());
+    EmitJsonLine("{\"paper_note\": \"" + JsonEscape(note) + "\"}");
     return;
   }
   std::printf("paper: %s\n", note.c_str());

@@ -2,6 +2,7 @@
 #define PMJOIN_BENCH_HARNESS_BENCH_UTIL_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <optional>
 #include <string>
 #include <vector>
@@ -129,6 +130,12 @@ void PrintTableRow(const std::vector<std::string>& cells);
 /// Switches PrintTable*/PrintPaperNote to JSON Lines output. Called by
 /// BenchArgs::Parse when it sees --json.
 void SetJsonOutput(bool enabled);
+
+/// Mirrors every JSON line (header, row, paper note) to `tee` as well as
+/// stdout, so a bench can leave a machine-readable artifact (e.g.
+/// BENCH_kernels.json) while still printing. Only active in JSON mode.
+/// Pass nullptr to stop mirroring. The caller owns the FILE.
+void SetJsonTee(std::FILE* tee);
 std::string FormatSeconds(double seconds);
 std::string FormatCount(uint64_t count);
 

@@ -43,7 +43,7 @@ Status ExpandLevel(const RStarTree& rt, const RStarTree& st,
     if (a.level > b.level) {
       for (const RStarTree::Entry& e : a.entries) {
         if (ops != nullptr) ++ops->mbr_tests;
-        if (e.mbr.MinDist(b.mbr, norm) <= threshold)
+        if (e.mbr.MinDistWithin(b.mbr, norm, threshold))
           next->push_back(NodePair{e.id, pair.s});
       }
       continue;
@@ -51,7 +51,7 @@ Status ExpandLevel(const RStarTree& rt, const RStarTree& st,
     if (b.level > a.level) {
       for (const RStarTree::Entry& e : b.entries) {
         if (ops != nullptr) ++ops->mbr_tests;
-        if (a.mbr.MinDist(e.mbr, norm) <= threshold)
+        if (a.mbr.MinDistWithin(e.mbr, norm, threshold))
           next->push_back(NodePair{pair.r, e.id});
       }
       continue;
@@ -61,7 +61,7 @@ Status ExpandLevel(const RStarTree& rt, const RStarTree& st,
     for (const RStarTree::Entry& er : a.entries) {
       for (const RStarTree::Entry& es : b.entries) {
         if (ops != nullptr) ++ops->mbr_tests;
-        if (er.mbr.MinDist(es.mbr, norm) > threshold) continue;
+        if (!er.mbr.MinDistWithin(es.mbr, norm, threshold)) continue;
         if (leaves) {
           leaf_pairs->push_back(NodePair{er.id, es.id});
         } else {
@@ -103,8 +103,9 @@ Status BfrjJoin(const RStarTree& r_tree, const RStarTree& s_tree,
     return Status::InvalidArgument("BFRJ: trees need attached node files");
   if (r_tree.empty() || s_tree.empty()) return Status::OK();
   if (ops != nullptr) ++ops->mbr_tests;
-  if (r_tree.node(r_tree.root())
-          .mbr.MinDist(s_tree.node(s_tree.root()).mbr, norm) > threshold) {
+  if (!r_tree.node(r_tree.root())
+           .mbr.MinDistWithin(s_tree.node(s_tree.root()).mbr, norm,
+                              threshold)) {
     return Status::OK();
   }
 
@@ -152,8 +153,9 @@ uint64_t BfrjPeakIntermediatePages(const RStarTree& r_tree,
                                    double threshold, Norm norm,
                                    uint32_t page_size_bytes) {
   if (r_tree.empty() || s_tree.empty()) return 0;
-  if (r_tree.node(r_tree.root())
-          .mbr.MinDist(s_tree.node(s_tree.root()).mbr, norm) > threshold) {
+  if (!r_tree.node(r_tree.root())
+           .mbr.MinDistWithin(s_tree.node(s_tree.root()).mbr, norm,
+                              threshold)) {
     return 0;
   }
   std::vector<NodePair> level{NodePair{r_tree.root(), s_tree.root()}};

@@ -6,6 +6,7 @@
 #include <functional>
 #include <vector>
 
+#include "geom/distance_kernels.h"
 #include "io/external_sort.h"
 #include "seq/edit_distance.h"
 #include "seq/frequency_vector.h"
@@ -143,7 +144,8 @@ Status EgoSweep(const EgoSide& r, const EgoSide& s, double cell_width,
           }
           if (!band) continue;
           if (ops != nullptr) ops->distance_terms += r.dims;
-          if (WithinDistance(x, y, norm, threshold)) {
+          if (kernels::WithinOne(x.data(), y.data(), r.dims, norm,
+                                 threshold)) {
             emit(r.positions[i], s.positions[j]);
           }
         }

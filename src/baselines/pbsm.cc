@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "geom/distance_kernels.h"
+
 namespace pmjoin {
 namespace {
 
@@ -166,7 +168,8 @@ Status PbsmJoinVectors(const VectorDataset& r, const VectorDataset& s,
         if (ops != nullptr) ops->distance_terms += r.dims();
         const std::span<const float> y =
             s_side.Record(b->page, b->slot);
-        if (!WithinDistance(x, y, norm, eps)) continue;
+        if (!kernels::WithinOne(x.data(), y.data(), r.dims(), norm, eps))
+          continue;
         const uint64_t yid = s_side.OriginalId(b->page, b->slot);
         if (self_join && xid >= yid) continue;
         // Reference-point dedup: midpoint tile must be this pair's tile

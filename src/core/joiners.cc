@@ -1,7 +1,9 @@
 #include "core/joiners.h"
 
+#include <algorithm>
 #include <cassert>
 
+#include "geom/distance_kernels.h"
 #include "seq/paa.h"
 #include "seq/window_join.h"
 
@@ -14,17 +16,44 @@ VectorPairJoiner::VectorPairJoiner(const VectorDataset* r,
   assert(!self_join || r == s);
 }
 
+namespace {
+
+/// Kernel tile width for the page-pair join: one mask buffer of this many
+/// rows lives on the stack, and the S page is processed in ascending
+/// tiles of this size per R record, so emission order is exactly the
+/// scalar double loop's (i ascending, j ascending).
+constexpr uint32_t kJoinTile = 256;
+
+}  // namespace
+
 void VectorPairJoiner::JoinPages(uint32_t r_page, uint32_t s_page,
                                  PairSink* sink, OpCounters* ops) {
   const uint32_t nr = r_->PageRecordCount(r_page);
   const uint32_t ns = s_->PageRecordCount(s_page);
   const size_t dims = r_->dims();
+  // Tiled kernel join over the pages' contiguous padded blocks. The
+  // determinism contract (DESIGN.md "Kernel layer"): the kernels decide
+  // "within eps" exactly as the scalar WithinDistance reference, and the
+  // (i, j) emission order below is the scalar double loop's, so the
+  // PairSink sees a byte-identical stream. Counters are charged by the
+  // same deterministic formulas as before — layout and vector width can
+  // never show up in a reported number.
+  const kernels::BlockView r_block = r_->PageBlock(r_page);
+  const kernels::BlockView s_block = s_->PageBlock(s_page);
+  uint8_t mask[kJoinTile];
   for (uint32_t i = 0; i < nr; ++i) {
-    const std::span<const float> x = r_->Record(r_page, i);
+    const float* x = r_block.data + uint64_t(i) * r_block.stride;
     const uint64_t xid = r_->OriginalId(r_page, i);
-    for (uint32_t j = 0; j < ns; ++j) {
-      if (WithinDistance(x, s_->Record(s_page, j), norm_, eps_)) {
-        const uint64_t yid = s_->OriginalId(s_page, j);
+    for (uint32_t tile_start = 0; tile_start < ns; tile_start += kJoinTile) {
+      const uint32_t tile_count = std::min(kJoinTile, ns - tile_start);
+      const kernels::BlockView tile{
+          s_block.data + uint64_t(tile_start) * s_block.stride, tile_count,
+          s_block.stride};
+      if (kernels::WithinMaskBlock(x, tile, dims, norm_, eps_, mask) == 0)
+        continue;
+      for (uint32_t jj = 0; jj < tile_count; ++jj) {
+        if (!mask[jj]) continue;
+        const uint64_t yid = s_->OriginalId(s_page, tile_start + jj);
         if (!self_join_ || xid < yid) {
           sink->OnPair(xid, yid);
           if (ops != nullptr) ++ops->result_pairs;
@@ -65,6 +94,9 @@ void TimeSeriesPairJoiner::JoinPages(uint32_t r_page, uint32_t s_page,
   const SequenceLayout& rl = r_->layout();
   const SequenceLayout& sl = s_->layout();
   const double threshold = MatrixThreshold();
+  // L2 filters compare squared MINDIST against the squared threshold —
+  // no sqrt per MBR test on this hot path.
+  const double threshold_sq = threshold * threshold;
   WindowJoinOptions options;
   options.window_len = rl.window_len;
   options.self_join = self_join_;
@@ -76,8 +108,8 @@ void TimeSeriesPairJoiner::JoinPages(uint32_t r_page, uint32_t s_page,
     const Mbr& coarse_a = r_->CoarseBoxMbr(r_page, ca);
     for (uint32_t cb = 0; cb < ncb; ++cb) {
       if (ops != nullptr) ++ops->mbr_tests;
-      if (coarse_a.MinDist(s_->CoarseBoxMbr(s_page, cb), Norm::kL2) >
-          threshold)
+      if (coarse_a.MinDistSquared(s_->CoarseBoxMbr(s_page, cb)) >
+          threshold_sq)
         continue;
       uint32_t a_lo, a_hi, b_lo, b_hi;
       rl.CoarseToFine(r_page, ca, &a_lo, &a_hi);
@@ -86,8 +118,8 @@ void TimeSeriesPairJoiner::JoinPages(uint32_t r_page, uint32_t s_page,
         const Mbr& box_a = r_->SubBoxMbr(r_page, a);
         for (uint32_t b = b_lo; b < b_hi; ++b) {
           if (ops != nullptr) ++ops->mbr_tests;
-          if (box_a.MinDist(s_->SubBoxMbr(s_page, b), Norm::kL2) >
-              threshold)
+          if (box_a.MinDistSquared(s_->SubBoxMbr(s_page, b)) >
+              threshold_sq)
             continue;
           WindowRange xr{rl.SubBoxFirstWindow(r_page, a),
                          rl.SubBoxWindowCount(r_page, a)};
@@ -143,8 +175,8 @@ void StringPairJoiner::JoinPages(uint32_t r_page, uint32_t s_page,
     const Mbr& coarse_a = r_->CoarseBoxMbr(r_page, ca);
     for (uint32_t cb = 0; cb < ncb; ++cb) {
       if (ops != nullptr) ++ops->mbr_tests;
-      if (coarse_a.MinDist(s_->CoarseBoxMbr(s_page, cb), Norm::kL1) >
-          threshold)
+      if (!coarse_a.MinDistWithin(s_->CoarseBoxMbr(s_page, cb), Norm::kL1,
+                                  threshold))
         continue;
       uint32_t a_lo, a_hi, b_lo, b_hi;
       rl.CoarseToFine(r_page, ca, &a_lo, &a_hi);
@@ -153,8 +185,8 @@ void StringPairJoiner::JoinPages(uint32_t r_page, uint32_t s_page,
         const Mbr& box_a = r_->SubBoxMbr(r_page, a);
         for (uint32_t b = b_lo; b < b_hi; ++b) {
           if (ops != nullptr) ++ops->mbr_tests;
-          if (box_a.MinDist(s_->SubBoxMbr(s_page, b), Norm::kL1) >
-              threshold)
+          if (!box_a.MinDistWithin(s_->SubBoxMbr(s_page, b), Norm::kL1,
+                                   threshold))
             continue;
           WindowRange xr{rl.SubBoxFirstWindow(r_page, a),
                          rl.SubBoxWindowCount(r_page, a)};

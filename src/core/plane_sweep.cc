@@ -88,7 +88,7 @@ void SweepPairs(std::span<const SweepItem> r, std::span<const SweepItem> s,
       for (uint32_t j : active_s) {
         if (ops != nullptr) ++ops->mbr_tests;
         if (!GapWithin(item.box, s[j].box, threshold)) continue;
-        if (item.box.MinDist(s[j].box, norm) > threshold) continue;
+        if (!item.box.MinDistWithin(s[j].box, norm, threshold)) continue;
         emit(item, s[j]);
       }
       activate(active_r, pos_r, e.index);
@@ -97,7 +97,7 @@ void SweepPairs(std::span<const SweepItem> r, std::span<const SweepItem> s,
       for (uint32_t i : active_r) {
         if (ops != nullptr) ++ops->mbr_tests;
         if (!GapWithin(r[i].box, item.box, threshold)) continue;
-        if (r[i].box.MinDist(item.box, norm) > threshold) continue;
+        if (!r[i].box.MinDistWithin(item.box, norm, threshold)) continue;
         emit(r[i], item);
       }
       activate(active_s, pos_s, e.index);
@@ -226,8 +226,9 @@ class HierarchicalBuilder {
   void Run() {
     if (rt_.empty() || st_.empty()) return;
     if (ops_ != nullptr) ++ops_->mbr_tests;
-    if (rt_.node(rt_.root()).mbr.MinDist(st_.node(st_.root()).mbr, norm_) >
-        threshold_) {
+    if (!rt_.node(rt_.root())
+             .mbr.MinDistWithin(st_.node(st_.root()).mbr, norm_,
+                                threshold_)) {
       return;
     }
     NodePair(rt_.root(), st_.root());
@@ -242,14 +243,16 @@ class HierarchicalBuilder {
     if (a.level > b.level) {
       for (const RStarTree::Entry& e : a.entries) {
         if (ops_ != nullptr) ++ops_->mbr_tests;
-        if (e.mbr.MinDist(b.mbr, norm_) <= threshold_) NodePair(e.id, sn);
+        if (e.mbr.MinDistWithin(b.mbr, norm_, threshold_))
+          NodePair(e.id, sn);
       }
       return;
     }
     if (b.level > a.level) {
       for (const RStarTree::Entry& e : b.entries) {
         if (ops_ != nullptr) ++ops_->mbr_tests;
-        if (a.mbr.MinDist(e.mbr, norm_) <= threshold_) NodePair(rn, e.id);
+        if (a.mbr.MinDistWithin(e.mbr, norm_, threshold_))
+          NodePair(rn, e.id);
       }
       return;
     }

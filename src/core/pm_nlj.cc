@@ -9,7 +9,12 @@ namespace {
 /// Column-major view of the matrix: marked R pages (rows) per S page.
 std::vector<std::vector<uint32_t>> ColumnPartners(
     const PredictionMatrix& matrix) {
+  std::vector<uint32_t> counts(matrix.cols(), 0);
+  for (uint32_t r = 0; r < matrix.rows(); ++r) {
+    for (uint32_t c : matrix.RowEntries(r)) ++counts[c];
+  }
   std::vector<std::vector<uint32_t>> partners(matrix.cols());
+  for (uint32_t c = 0; c < matrix.cols(); ++c) partners[c].reserve(counts[c]);
   for (uint32_t r = 0; r < matrix.rows(); ++r) {
     for (uint32_t c : matrix.RowEntries(r)) partners[c].push_back(r);
   }
@@ -77,14 +82,17 @@ Status PmNlj(const JoinInput& input, const PredictionMatrix& matrix,
   const std::vector<std::vector<uint32_t>> by_col = ColumnPartners(matrix);
   const uint32_t block = buffer >= 3 ? buffer - 2 : 1;
 
+  // One id buffer for the whole scan: cleared and refilled per partner
+  // block instead of allocating a fresh vector each iteration.
+  std::vector<PageId> ids;
+  ids.reserve(block);
   for (uint32_t u : u_pages) {
     PMJOIN_RETURN_IF_ERROR(pool->Pin(u_page_id(u)));
     const std::vector<uint32_t>& partners =
         u_is_rows ? matrix.RowEntries(u) : by_col[u];
     for (size_t start = 0; start < partners.size(); start += block) {
       const size_t end = std::min(partners.size(), start + block);
-      std::vector<PageId> ids;
-      ids.reserve(end - start);
+      ids.clear();
       for (size_t i = start; i < end; ++i)
         ids.push_back(v_page_id(partners[i]));
       PMJOIN_RETURN_IF_ERROR(pool->PinBatch(ids));

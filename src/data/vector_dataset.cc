@@ -46,7 +46,11 @@ Result<VectorDataset> VectorDataset::Build(SimulatedDisk* disk,
     order.insert(order.end(), g.begin(), g.end());
 
   const size_t num_pages = (n + rpp - 1) / rpp;
-  ds.packed_.reserve(n * data.dims);
+  ds.stride_ = kernels::PaddedWidth(data.dims);
+  // Whole pages of zero-initialized padded rows: the tail slots of a
+  // short last page and the per-record padding both read as zeros, which
+  // contribute nothing to any supported norm.
+  ds.packed_.assign(num_pages * size_t(rpp) * ds.stride_, 0.0f);
   ds.orig_ids_.reserve(n);
   ds.origin_pos_.resize(n);
   ds.page_mbrs_.reserve(num_pages);
@@ -61,7 +65,8 @@ Result<VectorDataset> VectorDataset::Build(SimulatedDisk* disk,
       const std::span<const float> rec(data.record(orig), data.dims);
       ds.origin_pos_[orig] = ds.orig_ids_.size();
       ds.orig_ids_.push_back(orig);
-      ds.packed_.insert(ds.packed_.end(), rec.begin(), rec.end());
+      std::copy(rec.begin(), rec.end(),
+                ds.packed_.begin() + i * ds.stride_);
       page_mbr.Expand(rec);
     }
     leaf_entries.push_back(
@@ -88,7 +93,7 @@ std::span<const float> VectorDataset::Record(uint32_t page,
                                              uint32_t slot) const {
   const uint64_t pos = uint64_t(page) * records_per_page_ + slot;
   assert(pos < num_records());
-  return std::span<const float>(packed_.data() + pos * dims_, dims_);
+  return std::span<const float>(packed_.data() + pos * stride_, dims_);
 }
 
 uint64_t VectorDataset::OriginalId(uint32_t page, uint32_t slot) const {
@@ -101,7 +106,7 @@ std::span<const float> VectorDataset::RecordByOriginalId(
     uint64_t orig_id) const {
   assert(orig_id < num_records());
   const uint64_t pos = origin_pos_[orig_id];
-  return std::span<const float>(packed_.data() + pos * dims_, dims_);
+  return std::span<const float>(packed_.data() + pos * stride_, dims_);
 }
 
 }  // namespace pmjoin

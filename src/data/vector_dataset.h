@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "data/generators.h"
+#include "geom/distance_kernels.h"
 #include "geom/mbr.h"
 #include "index/rstar_tree.h"
 #include "io/simulated_disk.h"
@@ -59,6 +60,23 @@ class VectorDataset {
   /// Record `slot` of page `page` (a dims()-length span).
   std::span<const float> Record(uint32_t page, uint32_t slot) const;
 
+  /// Contiguous row-major view of page `page` for the batch distance
+  /// kernels: `data` points at the page's first record, consecutive
+  /// records are `stride` floats apart, and `stride` is dims() rounded up
+  /// to the SIMD lane width (`kernels::PaddedWidth`) with the padding
+  /// zero-filled — so a kernel can accumulate straight through `stride`
+  /// terms per record without a tail loop and without changing any
+  /// distance. Records of a page are guaranteed adjacent (slot s starts
+  /// exactly `s * stride` floats after slot 0).
+  kernels::BlockView PageBlock(uint32_t page) const {
+    return kernels::BlockView{
+        packed_.data() + uint64_t(page) * records_per_page_ * stride_,
+        PageRecordCount(page), stride_};
+  }
+
+  /// The padded record stride of PageBlock, in floats.
+  uint32_t padded_stride() const { return stride_; }
+
   /// Original (pre-permutation) id of record `slot` of page `page`.
   uint64_t OriginalId(uint32_t page, uint32_t slot) const;
 
@@ -81,8 +99,11 @@ class VectorDataset {
 
   size_t dims_ = 0;
   uint32_t records_per_page_ = 0;
+  uint32_t stride_ = 0;
   uint32_t file_id_ = 0;
-  /// Records in page order (page p occupies slots [p·rpp, (p+1)·rpp)).
+  /// Records in page order (page p occupies slots [p·rpp, (p+1)·rpp)),
+  /// one `stride_`-float row per record, zero-padded past dims_. Sized to
+  /// whole pages so PageBlock tiles may be loaded to the lane boundary.
   std::vector<float> packed_;
   /// orig_ids_[p·rpp + slot] = original record index.
   std::vector<uint64_t> orig_ids_;

@@ -138,6 +138,75 @@ double Mbr::MinDist(std::span<const float> point, Norm norm) const {
   return MinDist(Mbr::FromPoint(point), norm);
 }
 
+double Mbr::MinDistSquared(const Mbr& other) const {
+  assert(other.dims() == dims());
+  double sum = 0.0;
+  for (size_t d = 0; d < dims(); ++d) {
+    const double gap = std::max({0.0, double(lo_[d]) - other.hi_[d],
+                                 double(other.lo_[d]) - hi_[d]});
+    sum += gap * gap;
+  }
+  return sum;
+}
+
+namespace {
+
+/// Shared accumulator for the MinDistWithin variants. `GapFn(d)` returns
+/// the per-dimension gap; the accumulation matches MinDist (same gap
+/// terms, same order) and L2 compares in squared space, so no sqrt is
+/// ever paid. The partial statistic is monotone nondecreasing, which
+/// makes the early exit exact with respect to the full-sum comparison.
+template <typename GapFn>
+bool GapsWithin(size_t dims, Norm norm, double threshold, GapFn gap_of) {
+  switch (norm) {
+    case Norm::kL1: {
+      double sum = 0.0;
+      for (size_t d = 0; d < dims; ++d) {
+        sum += gap_of(d);
+        if (sum > threshold) return false;
+      }
+      return true;
+    }
+    case Norm::kL2: {
+      const double threshold_sq = threshold * threshold;
+      double sum = 0.0;
+      for (size_t d = 0; d < dims; ++d) {
+        const double gap = gap_of(d);
+        sum += gap * gap;
+        if (sum > threshold_sq) return false;
+      }
+      return true;
+    }
+    case Norm::kLInf: {
+      for (size_t d = 0; d < dims; ++d) {
+        if (gap_of(d) > threshold) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Mbr::MinDistWithin(const Mbr& other, Norm norm,
+                        double threshold) const {
+  assert(other.dims() == dims());
+  return GapsWithin(dims(), norm, threshold, [&](size_t d) {
+    return std::max({0.0, double(lo_[d]) - other.hi_[d],
+                     double(other.lo_[d]) - hi_[d]});
+  });
+}
+
+bool Mbr::MinDistWithin(std::span<const float> point, Norm norm,
+                        double threshold) const {
+  assert(point.size() == dims());
+  return GapsWithin(dims(), norm, threshold, [&](size_t d) {
+    return std::max({0.0, double(lo_[d]) - point[d],
+                     double(point[d]) - hi_[d]});
+  });
+}
+
 double Mbr::Area() const {
   if (empty()) return 0.0;
   double area = 1.0;

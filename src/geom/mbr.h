@@ -75,6 +75,28 @@ class Mbr {
   /// Exact minimum distance between `point` and this box under `norm`.
   double MinDist(std::span<const float> point, Norm norm) const;
 
+  /// Squared L2 MINDIST: the sum of squared per-dimension gaps, with no
+  /// square root. `MinDistSquared(o) == MinDist(o, kL2)²` (same gap terms,
+  /// same accumulation order). Threshold filters compare this against
+  /// threshold² and skip the sqrt entirely.
+  double MinDistSquared(const Mbr& other) const;
+
+  /// True iff `MinDist(other, norm) <= threshold`, computed without the L2
+  /// sqrt and with per-dimension early exit (the accumulated gap statistic
+  /// is monotone, so the scan stops as soon as it exceeds the threshold).
+  /// For L2 the comparison is exactly `MinDistSquared(other) <= threshold²`
+  /// — equivalent to the sqrt form except when threshold sits within one
+  /// rounding step of the boundary, where the squared form is the more
+  /// faithful one (no sqrt rounding on the statistic). This is the
+  /// hot-filter form: every descent/sweep test of the shape
+  /// `MinDist(...) > t` should use `!MinDistWithin(..., t)` instead.
+  bool MinDistWithin(const Mbr& other, Norm norm, double threshold) const;
+
+  /// Point variant of MinDistWithin; avoids materializing a degenerate
+  /// point box (unlike `MinDist(point, norm)`, this never allocates).
+  bool MinDistWithin(std::span<const float> point, Norm norm,
+                     double threshold) const;
+
   /// Product of side lengths (used by the R*-tree split heuristics).
   double Area() const;
 

@@ -341,7 +341,7 @@ void RStarTree::DistanceSearch(const Mbr& query, double eps, Norm norm,
     const Node& n = nodes_[stack.back()];
     stack.pop_back();
     for (const Entry& e : n.entries) {
-      if (e.mbr.MinDist(query, norm) > eps) continue;
+      if (!e.mbr.MinDistWithin(query, norm, eps)) continue;
       if (n.IsLeaf()) {
         out->push_back(e.id);
       } else {

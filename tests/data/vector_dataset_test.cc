@@ -1,6 +1,7 @@
 #include "data/vector_dataset.h"
 
 #include <set>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -62,6 +63,42 @@ TEST(VectorDatasetTest, OriginalIdRoundTrip) {
     }
   }
   EXPECT_EQ(seen.size(), 500u);
+}
+
+TEST(VectorDatasetTest, PageBlockIsContiguousPaddedRowMajor) {
+  // The PageBlock contract the distance kernels rely on: per page, one
+  // contiguous row-major block; stride = PaddedWidth(dims); slot s starts
+  // exactly s * stride floats after slot 0; padding (and the tail of a
+  // short last page) reads as zeros.
+  SimulatedDisk disk;
+  for (const size_t dims : {2u, 8u, 13u, 60u}) {
+    const VectorData data = GenUniform(333, dims, 19 + dims);
+    auto ds = VectorDataset::Build(
+        &disk, "blk" + std::to_string(dims), data,
+        PageBytes(static_cast<uint32_t>(7 * dims * sizeof(float))));
+    ASSERT_TRUE(ds.ok());
+    EXPECT_EQ(ds->padded_stride(), kernels::PaddedWidth(dims));
+    EXPECT_EQ(ds->padded_stride() % kernels::kLaneFloats, 0u);
+    for (uint32_t p = 0; p < ds->num_pages(); ++p) {
+      const kernels::BlockView block = ds->PageBlock(p);
+      ASSERT_EQ(block.count, ds->PageRecordCount(p));
+      ASSERT_EQ(block.stride, ds->padded_stride());
+      for (uint32_t s = 0; s < block.count; ++s) {
+        const std::span<const float> rec = ds->Record(p, s);
+        const float* row = block.data + size_t(s) * block.stride;
+        EXPECT_EQ(rec.data(), row) << "page " << p << " slot " << s;
+        for (size_t d = dims; d < block.stride; ++d) {
+          EXPECT_EQ(row[d], 0.0f) << "padding not zeroed";
+        }
+      }
+      // Trailing slots of a short page are zero out to the lane boundary,
+      // so kernels may read whole rows without a tail check.
+      for (uint32_t s = block.count; s < ds->records_per_page(); ++s) {
+        const float* row = block.data + size_t(s) * block.stride;
+        for (size_t d = 0; d < block.stride; ++d) EXPECT_EQ(row[d], 0.0f);
+      }
+    }
+  }
 }
 
 TEST(VectorDatasetTest, PageMbrsCoverTheirRecords) {

@@ -156,6 +156,54 @@ TEST_P(MbrNormTest, MinDistSymmetric) {
   }
 }
 
+TEST(MbrTest, MinDistSquaredIsExactSquareOfMinDist) {
+  // MinDistSquared accumulates the same gap terms in the same order as
+  // MinDist(L2) and skips only the final sqrt, so squaring MinDist must
+  // reproduce it to the last bit that sqrt preserves.
+  Rng rng(29);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t dims = 1 + trial % 6;
+    const Mbr a = RandomBox(&rng, dims, 0.3);
+    const Mbr b = RandomBox(&rng, dims, 0.3);
+    const double d = a.MinDist(b, Norm::kL2);
+    EXPECT_DOUBLE_EQ(a.MinDistSquared(b), d * d);
+    EXPECT_DOUBLE_EQ(a.MinDistSquared(b), b.MinDistSquared(a));
+  }
+}
+
+TEST_P(MbrNormTest, MinDistWithinMatchesThresholdComparison) {
+  // MinDistWithin(o, n, t) must equal the norm's exact threshold
+  // comparison — MinDistSquared <= t² for L2 (its documented boundary
+  // semantics, no sqrt rounding), MinDist <= t otherwise — including at
+  // thresholds placed exactly on the boundary.
+  Rng rng(31);
+  const Norm n = GetParam();
+  const auto expect_within = [n](const Mbr& a, const Mbr& b, double t) {
+    return n == Norm::kL2 ? a.MinDistSquared(b) <= t * t
+                          : a.MinDist(b, n) <= t;
+  };
+  for (int trial = 0; trial < 500; ++trial) {
+    const size_t dims = 1 + trial % 5;
+    const Mbr a = RandomBox(&rng, dims, 0.3);
+    const Mbr b = RandomBox(&rng, dims, 0.3);
+    const double d = a.MinDist(b, n);
+    // Random thresholds plus the boundary value and its neighborhood.
+    for (const double t :
+         {rng.UniformDouble() * 2.0, d, d * 0.999, d * 1.001}) {
+      EXPECT_EQ(a.MinDistWithin(b, n, t), expect_within(a, b, t))
+          << NormName(n) << " d=" << d << " t=" << t;
+    }
+    const auto p = RandomPoint(&rng, dims);
+    const Mbr pb = Mbr::FromPoint(p);
+    for (const double t :
+         {rng.UniformDouble() * 2.0, a.MinDist(p, n)}) {
+      EXPECT_EQ(a.MinDistWithin(std::span<const float>(p), n, t),
+                expect_within(a, pb, t))
+          << NormName(n) << " t=" << t;
+    }
+  }
+}
+
 TEST_P(MbrNormTest, ExtendedIntersectionEquivalentToGapTest) {
   // The §5.1 construction: MBRs extended by ε/2 intersect ⟺ every
   // per-dimension gap <= ε ⟺ MinDist_Linf <= ε. For Linf this is exactly

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Compare a kernel-benchmark run against a committed baseline.
+
+Reads the JSON Lines emitted by `bench_kernels --json` (rows tagged
+`"table": "distance_kernels"`) from a baseline file and a current run,
+matches rows by label (e.g. "L2/d16"), and compares tiled-kernel
+throughput (`terms_s_tiled`).
+
+The check is deliberately loose: CI runners are noisy, so only a
+catastrophic regression — current throughput below baseline / THRESHOLD
+(default 2.0x) — fails. Everything else, including labels present in
+only one file, is reported but tolerated. This makes the bench-smoke CI
+job a tripwire for "the kernels fell off a cliff" (e.g. vectorization
+silently disabled), not a perf gate.
+
+Usage: tools/bench_compare.py BASELINE.json CURRENT.json [--threshold X]
+Exits non-zero iff any label regressed by more than the threshold.
+"""
+
+import argparse
+import json
+import sys
+
+METRIC = "terms_s_tiled"
+
+
+def load_rows(path):
+    """Returns {label: row} for distance_kernels data rows in a JSONL file."""
+    rows = {}
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as err:
+                print(f"{path}:{lineno}: skipping unparseable line ({err})",
+                      file=sys.stderr)
+                continue
+            if row.get("table") != "distance_kernels" or "label" not in row:
+                continue
+            rows[row["label"]] = row
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("baseline", help="committed baseline JSONL")
+    parser.add_argument("current", help="JSONL from the current run")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="fail if baseline/current exceeds this "
+                        "(default: 2.0)")
+    args = parser.parse_args()
+
+    base = load_rows(args.baseline)
+    curr = load_rows(args.current)
+    if not base:
+        print(f"error: no distance_kernels rows in {args.baseline}",
+              file=sys.stderr)
+        return 2
+    if not curr:
+        print(f"error: no distance_kernels rows in {args.current}",
+              file=sys.stderr)
+        return 2
+
+    regressions = []
+    print(f"{'label':<10} {'baseline':>12} {'current':>12} {'ratio':>7}")
+    for label in sorted(base, key=lambda l: (l.split("/")[1], l)):
+        if label not in curr:
+            print(f"{label:<10} {'(missing in current run)':>33}")
+            continue
+        b = float(base[label][METRIC])
+        c = float(curr[label][METRIC])
+        ratio = b / c if c > 0 else float("inf")
+        flag = "  << REGRESSION" if ratio > args.threshold else ""
+        print(f"{label:<10} {b:>12.4g} {c:>12.4g} {ratio:>7.2f}{flag}")
+        if ratio > args.threshold:
+            regressions.append((label, ratio))
+    for label in sorted(set(curr) - set(base)):
+        print(f"{label:<10} {'(new label, no baseline)':>33}")
+
+    if regressions:
+        names = ", ".join(f"{l} ({r:.1f}x)" for l, r in regressions)
+        print(f"\nbench_compare: {METRIC} regressed more than "
+              f"{args.threshold}x vs baseline: {names}", file=sys.stderr)
+        return 1
+    print(f"\nbench_compare: OK ({len(base)} labels, threshold "
+          f"{args.threshold}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

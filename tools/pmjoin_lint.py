@@ -19,6 +19,11 @@ Rules (see DESIGN.md "Invariants & checking"):
                     baseline phases in src/baselines/ — core operators must
                     go through the BufferPool so buffer accounting stays
                     truthful.
+  kernel-dispatch   Instruction-set selection is an implementation detail
+                    of the batch distance kernels: src/ code must reach
+                    them through geom/distance_kernels.h, so __AVX2__,
+                    <immintrin.h>, and vector intrinsics are banned in
+                    src/ outside src/geom/distance_kernels.{h,cc}.
   include-hygiene   Header guards match the file path (PMJOIN_<PATH>_H_),
                     each src/ .cc includes its own header first, no "../"
                     includes, no angle-bracket includes of project headers.
@@ -45,6 +50,10 @@ MUTABLE_STATS_ALLOWED = (
     "src/io/buffer_pool.cc",
 )
 DIRECT_DISK_ALLOWED_PREFIXES = ("src/io/", "src/baselines/")
+KERNEL_DISPATCH_ALLOWED = (
+    "src/geom/distance_kernels.h",
+    "src/geom/distance_kernels.cc",
+)
 
 THROW_RE = re.compile(r"\b(throw|try|catch)\b")
 DETERMINISM_RE = re.compile(
@@ -53,6 +62,8 @@ DETERMINISM_RE = re.compile(
 )
 MUTABLE_STATS_RE = re.compile(r"\bmutable_stats\s*\(")
 DIRECT_DISK_RE = re.compile(r"(->|\.)\s*(ReadPage|ReadRun|WritePage|ScanFile)\s*\(")
+KERNEL_DISPATCH_RE = re.compile(
+    r"(__AVX2__|immintrin\.h|\b_mm\d*_\w+|\b(?:FloatStat)?Avx2\w*)")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
 GUARD_RE = re.compile(r"^\s*#\s*ifndef\s+(\S+)")
 
@@ -179,6 +190,15 @@ def lint_file(root, rel_path):
                     f"'{m.group(0).strip()}': unseeded nondeterminism; route "
                     "all randomness through a seeded pmjoin::Rng "
                     "(src/common/rng.h)"))
+        if (rel_path.startswith("src/")
+                and rel_path not in KERNEL_DISPATCH_ALLOWED):
+            m = KERNEL_DISPATCH_RE.search(line)
+            if m:
+                findings.append(Finding(
+                    rel_path, lineno, "kernel-dispatch",
+                    f"'{m.group(0)}': explicit SIMD lives only in "
+                    "src/geom/distance_kernels.*; call the batch kernels "
+                    "through geom/distance_kernels.h"))
         if rel_path.startswith("src/"):
             if (MUTABLE_STATS_RE.search(line)
                     and rel_path not in MUTABLE_STATS_ALLOWED):

@@ -14,7 +14,6 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -38,6 +37,8 @@
 #include "geom/mbr.h"
 #include "io/buffer_pool.h"
 #include "io/simulated_disk.h"
+#include "obs/clock.h"
+#include "obs/run_report.h"
 #include "seq/edit_distance.h"
 #include "seq/frequency_vector.h"
 #include "seq/paa.h"
@@ -345,10 +346,10 @@ BENCHMARK(BM_JoinStringPages);
 /// Seconds consumed by `fn()` repeated `iters` times.
 template <typename Fn>
 double TimeSeconds(uint32_t iters, Fn&& fn) {
-  const auto start = std::chrono::steady_clock::now();
+  const int64_t start = obs::MonotonicNanos();
   for (uint32_t it = 0; it < iters; ++it) fn();
-  const auto stop = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(stop - start).count();
+  const int64_t stop = obs::MonotonicNanos();
+  return static_cast<double>(stop - start) * 1e-9;
 }
 
 /// Repeats `fn` until it has run for at least `min_seconds` total, then
@@ -478,14 +479,26 @@ void RunKernelSweep(const bench::BenchArgs& args) {
 int main(int argc, char** argv) {
   const pmjoin::bench::BenchArgs args =
       pmjoin::bench::BenchArgs::Parse(argc, argv);
-  std::FILE* tee = nullptr;
+  pmjoin::obs::RunReport report;
   if (args.json) {
-    tee = std::fopen("BENCH_kernels.json", "w");
-    pmjoin::bench::SetJsonTee(tee);
+    report.SetContext("binary", "bench_kernels");
+    report.SetContext("quick", static_cast<int64_t>(args.quick ? 1 : 0));
+    report.SetContext(
+        "simd",
+        static_cast<int64_t>(pmjoin::kernels::HasExplicitSimd() ? 1 : 0));
+    pmjoin::bench::SetReportArtifact(&report);
   }
   pmjoin::RunKernelSweep(args);
-  pmjoin::bench::SetJsonTee(nullptr);
-  if (tee != nullptr) std::fclose(tee);
+  pmjoin::bench::SetReportArtifact(nullptr);
+  if (args.json) {
+    report.CaptureSession();
+    const pmjoin::Status st = report.WriteFile("BENCH_kernels.json");
+    if (!st.ok()) {
+      std::fprintf(stderr, "BENCH_kernels.json: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
   // The google-benchmark suite runs after the sweep; --quick keeps smoke
   // runs to the sweep alone. Initialize() consumes the --benchmark* flags
   // and ignores the harness flags BenchArgs already handled.

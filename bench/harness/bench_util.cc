@@ -8,6 +8,7 @@
 
 #include "common/rng.h"
 #include "geom/distance.h"
+#include "obs/run_report.h"
 
 namespace pmjoin {
 namespace bench {
@@ -143,18 +144,16 @@ constexpr int kLabelWidth = 18;
 // JSON-mode state: the current table's title and column names, captured by
 // PrintTableHeader so rows can be keyed by column.
 bool json_output = false;
-std::FILE* json_tee = nullptr;
+obs::RunReport* report_artifact = nullptr;
 std::string json_table_title;
 std::vector<std::string> json_table_columns;
 
-/// Prints one JSON Lines record to stdout and, when set, the tee file.
+/// Prints one JSON Lines record to stdout and, when set, mirrors it into
+/// the report artifact's rows.
 void EmitJsonLine(const std::string& line) {
   std::fputs(line.c_str(), stdout);
   std::fputc('\n', stdout);
-  if (json_tee != nullptr) {
-    std::fputs(line.c_str(), json_tee);
-    std::fputc('\n', json_tee);
-  }
+  if (report_artifact != nullptr) report_artifact->AddRowJson(line);
 }
 
 std::string JsonEscape(const std::string& s) {
@@ -186,7 +185,7 @@ std::string JsonValue(const std::string& cell) {
 
 void SetJsonOutput(bool enabled) { json_output = enabled; }
 
-void SetJsonTee(std::FILE* tee) { json_tee = tee; }
+void SetReportArtifact(obs::RunReport* report) { report_artifact = report; }
 
 void PrintTableHeader(const std::string& title,
                       const std::vector<std::string>& columns) {

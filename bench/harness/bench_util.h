@@ -14,6 +14,9 @@
 #include "seq/sequence_store.h"
 
 namespace pmjoin {
+namespace obs {
+class RunReport;
+}  // namespace obs
 namespace bench {
 
 /// Common command-line handling for the experiment binaries.
@@ -131,11 +134,12 @@ void PrintTableRow(const std::vector<std::string>& cells);
 /// BenchArgs::Parse when it sees --json.
 void SetJsonOutput(bool enabled);
 
-/// Mirrors every JSON line (header, row, paper note) to `tee` as well as
-/// stdout, so a bench can leave a machine-readable artifact (e.g.
-/// BENCH_kernels.json) while still printing. Only active in JSON mode.
-/// Pass nullptr to stop mirroring. The caller owns the FILE.
-void SetJsonTee(std::FILE* tee);
+/// Mirrors every JSON line (header, row, paper note) into `report`'s
+/// "rows" array as well as stdout, so a bench can leave a machine-readable
+/// run-report artifact (e.g. BENCH_kernels.json) while still printing.
+/// Only active in JSON mode. Pass nullptr to stop mirroring; the caller
+/// owns the report and decides when to write it out.
+void SetReportArtifact(obs::RunReport* report);
 std::string FormatSeconds(double seconds);
 std::string FormatCount(uint64_t count);
 

@@ -9,11 +9,19 @@
 //              [--n=20000] [--dims=2] [--eps=0.01] [--edits=5]
 //              [--buffer=64] [--page=1024] [--window=500] [--self]
 //              [--seed=1] [--norm=l1|l2|linf]
+//              [--trace=FILE] [--report=FILE]
+//
+// --trace writes the run's phase spans as Chrome trace-event JSON (open in
+// chrome://tracing or Perfetto); --report writes the
+// pmjoin.run_report.v1 JSON object (per-phase I/O attribution, metrics,
+// IoStats totals; see tools/run_report_schema.json). Neither changes the
+// join's results or its modeled I/O accounting.
 //
 // Examples:
 //   pmjoin_cli --data=road --algo=sc --n=30000 --eps=0.004 --buffer=32
 //   pmjoin_cli --data=dna --algo=sc --n=150000 --edits=5 --self
 //   pmjoin_cli --data=walk --algo=pm-nlj --n=50000 --eps=1.5 --window=20
+//   pmjoin_cli --data=road --algo=cc --trace=trace.json --report=run.json
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +32,9 @@
 #include "core/join_driver.h"
 #include "data/generators.h"
 #include "data/vector_dataset.h"
+#include "obs/run_report.h"
+#include "obs/span.h"
+#include "obs/trace_exporter.h"
 #include "seq/sequence_store.h"
 
 namespace {
@@ -43,6 +54,10 @@ struct CliArgs {
   bool self = false;
   uint64_t seed = 1;
   std::string norm = "l2";
+  std::string trace;   // Chrome trace-event JSON output path.
+  std::string report;  // pmjoin.run_report.v1 JSON output path.
+
+  bool observed() const { return !trace.empty() || !report.empty(); }
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -80,6 +95,10 @@ std::optional<CliArgs> Parse(int argc, char** argv) {
       args.seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--norm", &value)) {
       args.norm = value;
+    } else if (ParseFlag(argv[i], "--trace", &value)) {
+      args.trace = value;
+    } else if (ParseFlag(argv[i], "--report", &value)) {
+      args.report = value;
     } else if (std::strcmp(argv[i], "--self") == 0) {
       args.self = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
@@ -140,6 +159,42 @@ void PrintReport(const JoinReport& report, uint64_t result_pairs) {
               report.preprocess_seconds, report.TotalSeconds());
 }
 
+/// Ends the observability session and writes the --trace / --report
+/// artifacts. Called after the join has printed its report.
+int FinishObservability(const CliArgs& args) {
+  if (!args.observed()) return 0;
+  obs::Tracer::Get().StopSession();
+  const std::vector<obs::TraceEvent> events = obs::Tracer::Get().TakeEvents();
+  if (!args.trace.empty()) {
+    const Status st = obs::WriteChromeTrace(events, args.trace);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace:            %s (%zu spans)\n", args.trace.c_str(),
+                events.size());
+  }
+  if (!args.report.empty()) {
+    obs::RunReport report;
+    report.SetContext("binary", "pmjoin_cli");
+    report.SetContext("data", args.data);
+    report.SetContext("algo", args.algo);
+    report.SetContext("n", static_cast<uint64_t>(args.n));
+    report.SetContext("buffer", static_cast<uint64_t>(args.buffer));
+    report.SetContext("page", static_cast<uint64_t>(args.page));
+    report.SetContext("seed", args.seed);
+    report.CaptureSession(events);
+    const Status st = report.WriteFile(args.report);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("report:           %s (%zu phases)\n", args.report.c_str(),
+                report.phases().size());
+  }
+  return 0;
+}
+
 int Run(const CliArgs& args) {
   const auto algorithm = AlgoOf(args.algo);
   const auto norm = NormOf(args.norm);
@@ -148,6 +203,9 @@ int Run(const CliArgs& args) {
     return 2;
   }
   SimulatedDisk disk;
+  // The session brackets dataset build + join: disk traffic outside the
+  // instrumented join phases surfaces as the report's unattributed_io.
+  if (args.observed()) obs::Tracer::Get().StartSession(&disk);
   JoinDriver driver(&disk);
   JoinOptions options;
   options.algorithm = *algorithm;
@@ -193,7 +251,7 @@ int Run(const CliArgs& args) {
       return 1;
     }
     PrintReport(*report, sink.count());
-    return 0;
+    return FinishObservability(args);
   }
 
   if (args.data == "dna") {
@@ -223,7 +281,7 @@ int Run(const CliArgs& args) {
       return 1;
     }
     PrintReport(*report, sink.count());
-    return 0;
+    return FinishObservability(args);
   }
 
   if (args.data == "walk") {
@@ -254,7 +312,7 @@ int Run(const CliArgs& args) {
       return 1;
     }
     PrintReport(*report, sink.count());
-    return 0;
+    return FinishObservability(args);
   }
 
   std::fprintf(stderr, "bad --data value: %s\n", args.data.c_str());
@@ -271,7 +329,10 @@ int main(int argc, char** argv) {
         "                  [--algo=nlj|pm-nlj|rand-sc|sc|cc|ego|bfrj|pbsm]\n"
         "                  [--n=N] [--dims=D] [--eps=E] [--edits=K]\n"
         "                  [--buffer=B] [--page=BYTES] [--window=L]\n"
-        "                  [--self] [--seed=S] [--norm=l1|l2|linf]\n");
+        "                  [--self] [--seed=S] [--norm=l1|l2|linf]\n"
+        "                  [--trace=FILE] [--report=FILE]\n"
+        "--trace writes Chrome trace-event JSON (chrome://tracing);\n"
+        "--report writes the pmjoin.run_report.v1 JSON object.\n");
     return 2;
   }
   return Run(*args);

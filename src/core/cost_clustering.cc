@@ -5,6 +5,8 @@
 #include <limits>
 #include <set>
 
+#include "obs/span.h"
+
 namespace pmjoin {
 namespace {
 
@@ -376,6 +378,7 @@ std::vector<Cluster> CostClustering(const PredictionMatrix& matrix,
                                     const DiskModel& model,
                                     uint32_t hist_resolution, Rng* rng,
                                     OpCounters* ops) {
+  PMJOIN_SPAN_OPS("cost_clustering", ops);
   assert(buffer_pages >= 2);
   std::vector<Cluster> clusters;
   if (matrix.MarkedCount() == 0) return clusters;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/span.h"
 
 namespace pmjoin {
 
@@ -77,6 +78,7 @@ Status ExecuteSerial(const JoinInput& input,
                      std::span<const uint32_t> order, BufferPool* pool,
                      PairSink* sink, OpCounters* ops) {
   for (uint32_t index : order) {
+    PMJOIN_SPAN_OPS_ARG("cluster", ops, index);
     std::vector<PageId> pages;
     PMJOIN_RETURN_IF_ERROR(ValidateAndPageSet(input, clusters, index,
                                               pool->capacity(), &pages));
@@ -127,6 +129,7 @@ Status ExecuteParallel(const JoinInput& input,
   PMJOIN_RETURN_IF_ERROR(pool->PinBatch(current));
 
   for (size_t i = 0; i < order.size(); ++i) {
+    PMJOIN_SPAN_OPS_ARG("cluster", ops, order[i]);
     const Cluster& cluster = clusters[order[i]];
     const size_t n = cluster.entries.size();
     const uint32_t chunks = static_cast<uint32_t>(
@@ -142,7 +145,12 @@ Status ExecuteParallel(const JoinInput& input,
       PairSink* chunk_sink = pair_shards.shard(c);
       OpCounters* chunk_ops = op_shards.shard(c);
       workers->Submit([&input, &wg, chunk, chunk_sink, chunk_ops] {
-        JoinEntries(input, chunk, chunk_sink, chunk_ops);
+        {
+          // Scoped so the span's final read of *chunk_ops completes before
+          // Done() releases the chunk to the coordinator's drain.
+          PMJOIN_SPAN_OPS("join_entries", chunk_ops);
+          JoinEntries(input, chunk, chunk_sink, chunk_ops);
+        }
         wg.Done();
       });
     }
@@ -154,6 +162,7 @@ Status ExecuteParallel(const JoinInput& input,
     std::vector<PageId> next;
     bool next_pinned = false;
     if (have_next) {
+      PMJOIN_SPAN_ARG("prefetch", order[i + 1]);
       next_status = ValidateAndPageSet(input, clusters, order[i + 1],
                                        pool->capacity(), &next);
       if (next_status.ok() && options.prefetch_next_cluster &&
@@ -188,6 +197,7 @@ Status ExecuteClusteredJoin(const JoinInput& input,
                             BufferPool* pool, PairSink* sink,
                             OpCounters* ops,
                             const ExecutorOptions& options) {
+  PMJOIN_SPAN_OPS("execute", ops);
   if (order.size() != clusters.size())
     return Status::InvalidArgument("order size != cluster count");
   if (order.empty()) return Status::OK();

@@ -19,6 +19,8 @@
 #include "core/scheduler.h"
 #include "core/square_clustering.h"
 #include "io/buffer_pool.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace pmjoin {
 
@@ -75,8 +77,10 @@ Status RunMatrixAlgorithm(const JoinInput& input,
                           OpCounters* ops, uint64_t* num_clusters) {
   BufferPool pool(disk, options.buffer_pages);
   switch (options.algorithm) {
-    case Algorithm::kNlj:
+    case Algorithm::kNlj: {
+      PMJOIN_SPAN_OPS("block_nlj", ops);
       return BlockNlj(input, &pool, sink, ops, &matrix);
+    }
     case Algorithm::kPmNlj:
       return PmNlj(input, matrix, &pool, sink, ops);
     case Algorithm::kRandomSc:
@@ -101,6 +105,8 @@ Status RunMatrixAlgorithm(const JoinInput& input,
       PMJOIN_DCHECK_OK(
           ValidateClustering(matrix, clusters, options.buffer_pages));
       *num_clusters = clusters.size();
+      PMJOIN_METRIC_GAUGE_SET("executor.clusters",
+                              static_cast<int64_t>(clusters.size()));
 
       std::vector<uint32_t> order;
       if (options.algorithm == Algorithm::kRandomSc) {
@@ -149,9 +155,11 @@ Result<JoinReport> JoinDriver::RunVector(const VectorDataset& r,
   OpCounters ops;
   JoinReport report;
   report.algorithm = options.algorithm;
+  PMJOIN_SPAN_OPS("join", &ops);
 
   Status st;
   if (options.algorithm == Algorithm::kEgo) {
+    PMJOIN_SPAN_OPS("ego", &ops);
     BufferPool pool(disk_, options.buffer_pages);
     st = EgoJoinVectors(r, s, self, eps, options.norm, disk_, &pool, sink,
                         &ops);
@@ -159,10 +167,12 @@ Result<JoinReport> JoinDriver::RunVector(const VectorDataset& r,
     if (!r.tree().file_id().has_value() || !s.tree().file_id().has_value())
       return Status::InvalidArgument(
           "BFRJ: dataset trees lack node files (rebuild datasets)");
+    PMJOIN_SPAN_OPS("bfrj", &ops);
     BufferPool pool(disk_, options.buffer_pages);
     st = BfrjJoin(r.tree(), s.tree(), input, eps, options.norm,
                   options.page_size_bytes, disk_, &pool, sink, &ops);
   } else if (options.algorithm == Algorithm::kPbsm) {
+    PMJOIN_SPAN_OPS("pbsm", &ops);
     BufferPool pool(disk_, options.buffer_pages);
     st = PbsmJoinVectors(r, s, self, eps, options.norm, disk_, &pool, sink,
                          &ops);
@@ -223,12 +233,15 @@ Result<JoinReport> JoinDriver::RunTimeSeries(const TimeSeriesStore& r,
   OpCounters ops;
   JoinReport report;
   report.algorithm = options.algorithm;
+  PMJOIN_SPAN_OPS("join", &ops);
 
   Status st;
   if (options.algorithm == Algorithm::kEgo) {
+    PMJOIN_SPAN_OPS("ego", &ops);
     BufferPool pool(disk_, options.buffer_pages);
     st = EgoJoinTimeSeries(r, s, self, eps, disk_, &pool, sink, &ops);
   } else if (options.algorithm == Algorithm::kBfrj) {
+    PMJOIN_SPAN_OPS("bfrj", &ops);
     const RStarTree* rt = SequencePageTree(&r, r.page_mbrs());
     const RStarTree* stree =
         self ? rt : SequencePageTree(&s, s.page_mbrs());
@@ -295,12 +308,15 @@ Result<JoinReport> JoinDriver::RunString(const StringSequenceStore& r,
   OpCounters ops;
   JoinReport report;
   report.algorithm = options.algorithm;
+  PMJOIN_SPAN_OPS("join", &ops);
 
   Status st;
   if (options.algorithm == Algorithm::kEgo) {
+    PMJOIN_SPAN_OPS("ego", &ops);
     BufferPool pool(disk_, options.buffer_pages);
     st = EgoJoinStrings(r, s, self, max_edits, disk_, &pool, sink, &ops);
   } else if (options.algorithm == Algorithm::kBfrj) {
+    PMJOIN_SPAN_OPS("bfrj", &ops);
     const RStarTree* rt = SequencePageTree(&r, r.page_mbrs());
     const RStarTree* stree =
         self ? rt : SequencePageTree(&s, s.page_mbrs());

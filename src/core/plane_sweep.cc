@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace pmjoin {
 namespace {
 
@@ -35,6 +38,8 @@ void SweepPairs(std::span<const SweepItem> r, std::span<const SweepItem> s,
                 const std::function<void(const SweepItem&,
                                          const SweepItem&)>& emit) {
   if (r.empty() || s.empty()) return;
+  PMJOIN_METRIC_COUNT("plane_sweep.sweeps", 1);
+  PMJOIN_METRIC_COUNT("plane_sweep.items", r.size() + s.size());
   const float half = static_cast<float>(threshold / 2.0);
 
   std::vector<Endpoint> events;
@@ -190,6 +195,7 @@ PredictionMatrix BuildPredictionMatrixFlat(const std::vector<Mbr>& r_pages,
                                            const std::vector<Mbr>& s_pages,
                                            double threshold, Norm norm,
                                            OpCounters* ops) {
+  PMJOIN_SPAN_OPS("matrix_build", ops);
   PredictionMatrix matrix(static_cast<uint32_t>(r_pages.size()),
                           static_cast<uint32_t>(s_pages.size()));
   std::vector<SweepItem> r, s;
@@ -204,6 +210,8 @@ PredictionMatrix BuildPredictionMatrixFlat(const std::vector<Mbr>& r_pages,
                matrix.Mark(a.id, b.id);
              });
   matrix.Finalize();
+  PMJOIN_METRIC_GAUGE_SET("matrix.marked_entries",
+                          static_cast<int64_t>(matrix.MarkedCount()));
   return matrix;
 }
 
@@ -303,11 +311,14 @@ PredictionMatrix BuildPredictionMatrixHierarchical(
     const RStarTree& r_tree, const RStarTree& s_tree, uint32_t r_page_count,
     uint32_t s_page_count, double threshold, Norm norm,
     uint32_t filter_iterations, OpCounters* ops) {
+  PMJOIN_SPAN_OPS("matrix_build", ops);
   PredictionMatrix matrix(r_page_count, s_page_count);
   HierarchicalBuilder builder(r_tree, s_tree, threshold, norm,
                               filter_iterations, ops, &matrix);
   builder.Run();
   matrix.Finalize();
+  PMJOIN_METRIC_GAUGE_SET("matrix.marked_entries",
+                          static_cast<int64_t>(matrix.MarkedCount()));
   return matrix;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/span.h"
+
 namespace pmjoin {
 namespace {
 
@@ -25,6 +27,7 @@ std::vector<std::vector<uint32_t>> ColumnPartners(
 
 Status PmNlj(const JoinInput& input, const PredictionMatrix& matrix,
              BufferPool* pool, PairSink* sink, OpCounters* ops) {
+  PMJOIN_SPAN_OPS("pm_nlj", ops);
   if (matrix.MarkedCount() == 0) return Status::OK();
   const uint32_t buffer = pool->capacity();
 

@@ -5,6 +5,9 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace pmjoin {
 namespace {
 
@@ -67,12 +70,15 @@ std::vector<SharingEdge> BuildSharingGraph(
 std::vector<uint32_t> ScheduleClusters(const std::vector<Cluster>& clusters,
                                        const JoinInput& input,
                                        OpCounters* ops) {
+  PMJOIN_SPAN_OPS("schedule_clusters", ops);
   const uint32_t n = static_cast<uint32_t>(clusters.size());
   std::vector<uint32_t> order;
   if (n == 0) return order;
   if (n == 1) return {0};
 
   std::vector<SharingEdge> edges = BuildSharingGraph(clusters, input, ops);
+  PMJOIN_METRIC_GAUGE_SET("scheduler.sharing_edges",
+                          static_cast<int64_t>(edges.size()));
   // Greedy: heaviest edge first; ties broken by (a, b) for determinism.
   std::sort(edges.begin(), edges.end(),
             [](const SharingEdge& x, const SharingEdge& y) {

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/span.h"
+
 namespace pmjoin {
 
 std::vector<Cluster> SquareClustering(const PredictionMatrix& matrix,
                                       uint32_t buffer_pages,
                                       OpCounters* ops) {
+  PMJOIN_SPAN_OPS("square_clustering", ops);
   assert(buffer_pages >= 2);
   std::vector<Cluster> clusters;
   if (matrix.MarkedCount() == 0) return clusters;

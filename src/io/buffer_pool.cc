@@ -4,6 +4,8 @@
 #include <cassert>
 
 #include "io/disk_scheduler.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace pmjoin {
 
@@ -19,12 +21,14 @@ Status BufferPool::EvictOne() {
   PageId victim = lru_.front();
   lru_.pop_front();
   frames_.erase(victim);
+  PMJOIN_METRIC_COUNT("buffer_pool.evictions", 1);
   return Status::OK();
 }
 
 Status BufferPool::Ensure(PageId pid, std::vector<PageId>* missed) {
   auto it = frames_.find(pid);
   if (it != frames_.end()) {
+    PMJOIN_METRIC_COUNT("buffer_pool.hits", 1);
     ++disk_->mutable_stats().buffer_hits;
     // Refresh LRU position if unpinned.
     Frame& f = it->second;
@@ -34,6 +38,7 @@ Status BufferPool::Ensure(PageId pid, std::vector<PageId>* missed) {
     }
     return Status::OK();
   }
+  PMJOIN_METRIC_COUNT("buffer_pool.misses", 1);
   if (frames_.size() >= capacity_) {
     PMJOIN_RETURN_IF_ERROR(EvictOne());
   }
@@ -79,6 +84,7 @@ void BufferPool::Unpin(PageId pid) {
 }
 
 Status BufferPool::PinBatch(std::span<const PageId> pages) {
+  PMJOIN_SPAN_ARG("pin_batch", pages.size());
   // Pin already-resident pages first: a miss admitted later can only evict
   // unpinned frames, so the batch's own resident pages can never be pushed
   // out before they are used (this preserves cross-cluster reuse even when

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace pmjoin {
 
 std::vector<PageRun> BuildSchedule(const SimulatedDisk& disk,
@@ -33,6 +35,8 @@ std::vector<PageRun> BuildSchedule(const SimulatedDisk& disk,
 }
 
 Status ExecuteSchedule(SimulatedDisk* disk, const std::vector<PageRun>& runs) {
+  PMJOIN_METRIC_COUNT("disk_scheduler.schedules", 1);
+  PMJOIN_METRIC_COUNT("disk_scheduler.runs", runs.size());
   for (const PageRun& run : runs) {
     PMJOIN_RETURN_IF_ERROR(disk->ReadRun(run.start, run.length));
   }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/span.h"
+
 namespace pmjoin {
 
 ExternalSortPlan PlanExternalSort(uint64_t pages, uint32_t buffer_pages) {
@@ -27,6 +29,7 @@ ExternalSortPlan PlanExternalSort(uint64_t pages, uint32_t buffer_pages) {
 Status ChargeExternalSort(SimulatedDisk* disk, uint32_t pages,
                           uint32_t buffer_pages) {
   if (pages == 0) return Status::OK();
+  PMJOIN_SPAN_ARG("external_sort", pages);
   const ExternalSortPlan plan = PlanExternalSort(pages, buffer_pages);
   const uint32_t scratch_a = disk->CreateFile("sort-scratch-a", pages);
   const uint32_t scratch_b = disk->CreateFile("sort-scratch-b", pages);

@@ -1,0 +1,15 @@
+#include "obs/clock.h"
+
+#include <chrono>
+
+namespace pmjoin {
+namespace obs {
+
+int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace obs
+}  // namespace pmjoin

@@ -1,0 +1,21 @@
+#ifndef PMJOIN_OBS_CLOCK_H_
+#define PMJOIN_OBS_CLOCK_H_
+
+#include <cstdint>
+
+namespace pmjoin {
+namespace obs {
+
+// Monotonic wall-clock nanoseconds since an arbitrary process epoch.
+//
+// This is the only wall-clock read in the library: join logic must stay
+// deterministic, so tools/pmjoin_lint.py's `wall-clock` rule confines every
+// clock primitive to src/obs/. Span timings and trace exports may depend on
+// it because they are explicitly non-deterministic metadata that never feeds
+// back into join results.
+int64_t MonotonicNanos();
+
+}  // namespace obs
+}  // namespace pmjoin
+
+#endif  // PMJOIN_OBS_CLOCK_H_

@@ -1,0 +1,139 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace pmjoin {
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_obs_enabled{false};
+}  // namespace internal
+
+uint32_t ThreadIndex() {
+  static std::atomic<uint32_t> next_index{0};
+  thread_local const uint32_t index =
+      next_index.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+uint64_t Counter::Total() const {
+  uint64_t total = 0;
+  for (const Cell& cell : cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Cell& cell : cells_) {
+    cell.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Record(uint64_t value) {
+  const uint32_t bucket = static_cast<uint32_t>(std::bit_width(value));
+  cells_[ThreadIndex() & (kCells - 1)].buckets[bucket].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::TotalCount() const {
+  uint64_t total = 0;
+  for (const Cell& cell : cells_) {
+    for (const std::atomic<uint64_t>& bucket : cell.buckets) {
+      total += bucket.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+std::array<uint64_t, Histogram::kBuckets> Histogram::BucketCounts() const {
+  std::array<uint64_t, kBuckets> merged = {};
+  for (const Cell& cell : cells_) {
+    for (uint32_t b = 0; b < kBuckets; ++b) {
+      merged[b] += cell.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+void Histogram::Reset() {
+  for (Cell& cell : cells_) {
+    for (std::atomic<uint64_t>& bucket : cell.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::unique_ptr<Counter>(new Counter()))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::unique_ptr<Gauge>(new Gauge()))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::unique_ptr<Histogram>(new Histogram()))
+             .first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::vector<MetricsRegistry::MetricRow> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricRow> rows;
+  rows.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  // std::map iteration is name-sorted per kind; merge the three sorted
+  // streams into one globally name-sorted list.
+  for (const auto& [name, counter] : counters_) {
+    rows.push_back({name, "counter", static_cast<int64_t>(counter->Total()), {}});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    rows.push_back({name, "gauge", gauge->Value(), {}});
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricRow row{name, "histogram",
+                  static_cast<int64_t>(histogram->TotalCount()), {}};
+    const std::array<uint64_t, Histogram::kBuckets> buckets =
+        histogram->BucketCounts();
+    for (uint32_t b = 0; b < Histogram::kBuckets; ++b) {
+      if (buckets[b] != 0) row.buckets.emplace_back(b, buckets[b]);
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const MetricRow& a, const MetricRow& b) { return a.name < b.name; });
+  return rows;
+}
+
+}  // namespace obs
+}  // namespace pmjoin

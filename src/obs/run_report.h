@@ -1,0 +1,88 @@
+#ifndef PMJOIN_OBS_RUN_REPORT_H_
+#define PMJOIN_OBS_RUN_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/op_counters.h"
+#include "common/status.h"
+#include "io/io_stats.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace pmjoin {
+namespace obs {
+
+// One aggregated phase of a run report: every completed occurrence of the
+// same span path, folded together. `io` is the inclusive modeled-I/O delta
+// (what the span itself observed); `io_self` is the exclusive share — the
+// inclusive delta minus the inclusive deltas of the phase's direct
+// children — so that summing `io_self` over all phases plus the report's
+// `unattributed_io` reproduces the session's `IoStats` totals exactly,
+// field by field.
+struct PhaseRow {
+  std::string path;   // full nesting path ("join/execute/cluster")
+  std::string name;   // leaf segment
+  uint64_t count = 0; // completed occurrences folded into this row
+  int64_t wall_ns = 0;
+  bool has_io = false;
+  IoStats io;
+  IoStats io_self;
+  bool has_ops = false;
+  OpCounters ops;
+};
+
+// The single machine-readable output path for joins and benches: one JSON
+// object carrying the observed session's phase ledger (from Tracer spans),
+// the metrics-registry snapshot, the session IoStats totals, caller
+// context, and any bench table rows. Written by `examples/pmjoin_cli
+// --report`, `bench_kernels --json`, and the CI artifact jobs;
+// tools/run_report_schema.json documents the schema and
+// tools/validate_report.py checks it (including the exact-attribution
+// invariant above).
+class RunReport {
+ public:
+  static constexpr const char* kSchema = "pmjoin.run_report.v1";
+
+  // Context rows appear under "context" in insertion order. Keys must be
+  // unique; values are emitted as JSON strings/numbers.
+  void SetContext(const std::string& key, const std::string& value);
+  void SetContext(const std::string& key, const char* value);
+  void SetContext(const std::string& key, int64_t value);
+  void SetContext(const std::string& key, uint64_t value);
+  void SetContext(const std::string& key, double value);
+
+  // Appends one pre-serialized single-line JSON object to "rows" (the
+  // bench harness's table records pass through here verbatim).
+  void AddRowJson(std::string json_object);
+
+  // Folds a finished session into the report: aggregates `events` into
+  // phase rows (computing exclusive I/O), snapshots the metrics registry,
+  // and records the tracer's session IoStats totals. Call after
+  // Tracer::StopSession. The overload without arguments drains
+  // Tracer::TakeEvents() itself.
+  void CaptureSession();
+  void CaptureSession(const std::vector<TraceEvent>& events);
+
+  const std::vector<PhaseRow>& phases() const { return phases_; }
+  const IoStats& io_totals() const { return io_totals_; }
+  const IoStats& unattributed_io() const { return unattributed_io_; }
+
+  std::string ToJson() const;
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> context_;  // key, value
+  std::vector<std::string> rows_;
+  std::vector<PhaseRow> phases_;
+  std::vector<MetricsRegistry::MetricRow> metrics_;
+  IoStats io_totals_;
+  IoStats unattributed_io_;
+};
+
+}  // namespace obs
+}  // namespace pmjoin
+
+#endif  // PMJOIN_OBS_RUN_REPORT_H_

@@ -1,0 +1,113 @@
+#include "obs/trace_exporter.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <set>
+
+namespace pmjoin {
+namespace obs {
+
+namespace {
+
+void AppendF(std::string* out, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* format, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, format);
+  const int n = vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  if (n > 0) out->append(buffer, static_cast<size_t>(n));
+}
+
+double Micros(int64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+void AppendEventArgs(std::string* out, const TraceEvent& event) {
+  AppendF(out, "\"path\":\"%s\"", event.path.c_str());
+  if (event.arg != TraceEvent::kNoArg) {
+    AppendF(out, ",\"arg\":%" PRIu64, event.arg);
+  }
+  if (event.has_io) {
+    AppendF(out,
+            ",\"pages_read\":%" PRIu64 ",\"pages_written\":%" PRIu64
+            ",\"seeks\":%" PRIu64 ",\"sequential_reads\":%" PRIu64
+            ",\"buffer_hits\":%" PRIu64,
+            event.io.pages_read, event.io.pages_written, event.io.seeks,
+            event.io.sequential_reads, event.io.buffer_hits);
+  }
+  if (event.has_ops) {
+    AppendF(out,
+            ",\"distance_terms\":%" PRIu64 ",\"filter_checks\":%" PRIu64
+            ",\"edit_cells\":%" PRIu64 ",\"mbr_tests\":%" PRIu64
+            ",\"cluster_ops\":%" PRIu64 ",\"result_pairs\":%" PRIu64,
+            event.ops.distance_terms, event.ops.filter_checks,
+            event.ops.edit_cells, event.ops.mbr_tests, event.ops.cluster_ops,
+            event.ops.result_pairs);
+  }
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
+  // Normalize timestamps to the earliest span so traces start near t=0.
+  int64_t epoch_ns = 0;
+  bool have_epoch = false;
+  std::set<uint32_t> tids;
+  std::set<uint32_t> io_tids;
+  for (const TraceEvent& event : events) {
+    if (!have_epoch || event.start_ns < epoch_ns) {
+      epoch_ns = event.start_ns;
+      have_epoch = true;
+    }
+    tids.insert(event.tid);
+    if (event.has_io) io_tids.insert(event.tid);
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  // Thread-name metadata: tracks that carried I/O-attributed spans are the
+  // coordinator (all disk traffic runs there); the rest are executor workers.
+  for (const uint32_t tid : tids) {
+    if (!first) out += ",";
+    first = false;
+    const bool is_coordinator = io_tids.count(tid) != 0;
+    AppendF(&out,
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":%u,\"name\":\"thread_name\","
+            "\"args\":{\"name\":\"%s%u\"}}",
+            tid, is_coordinator ? "coordinator-" : "worker-", tid);
+  }
+  for (const TraceEvent& event : events) {
+    if (!first) out += ",";
+    first = false;
+    AppendF(&out,
+            "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"cat\":\"pmjoin\","
+            "\"name\":\"%s\",\"ts\":%.3f,\"dur\":%.3f,\"args\":{",
+            event.tid, event.name != nullptr ? event.name : "",
+            Micros(event.start_ns - epoch_ns),
+            Micros(event.end_ns - event.start_ns));
+    AppendEventArgs(&out, event);
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const std::vector<TraceEvent>& events,
+                        const std::string& path) {
+  FILE* file = fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IoError("cannot open trace file: " + path);
+  }
+  const std::string json = ChromeTraceJson(events);
+  const size_t written = fwrite(json.data(), 1, json.size(), file);
+  const bool close_ok = fclose(file) == 0;
+  if (written != json.size() || !close_ok) {
+    return Status::IoError("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace pmjoin

@@ -1,0 +1,27 @@
+#ifndef PMJOIN_OBS_TRACE_EXPORTER_H_
+#define PMJOIN_OBS_TRACE_EXPORTER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/span.h"
+
+namespace pmjoin {
+namespace obs {
+
+// Serializes completed spans as Chrome trace-event JSON ("X" complete
+// events, microsecond timestamps normalized to the earliest span). Open the
+// file in chrome://tracing or Perfetto: each obs::ThreadIndex() becomes one
+// track; tracks that carried I/O-attributed spans (the coordinator) are
+// labeled "coordinator", the rest "worker-<tid>". Per-span IoStats and
+// OpCounters deltas appear under args.
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events);
+
+Status WriteChromeTrace(const std::vector<TraceEvent>& events,
+                        const std::string& path);
+
+}  // namespace obs
+}  // namespace pmjoin
+
+#endif  // PMJOIN_OBS_TRACE_EXPORTER_H_

@@ -1,0 +1,70 @@
+// Compiles the observability macros with PMJOIN_OBS_DISABLED in force —
+// regardless of how the rest of the build is configured — and checks they
+// are true no-ops: type-checked but unevaluated, recording nothing even
+// while a session is active. This is the per-TU version of the
+// -DPMJOIN_OBS=OFF build invariant.
+#define PMJOIN_OBS_DISABLED 1
+
+#include <gtest/gtest.h>
+
+#include "common/op_counters.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace pmjoin {
+namespace obs {
+namespace {
+
+TEST(ObsDisabledTest, EnabledFlagMacroIsAbsent) {
+#ifdef PMJOIN_OBS_ENABLED
+  FAIL() << "span.h defined PMJOIN_OBS_ENABLED despite PMJOIN_OBS_DISABLED";
+#endif
+}
+
+TEST(ObsDisabledTest, SpanMacrosRecordNothingInsideSession) {
+  Tracer::Get().StartSession(nullptr);
+  OpCounters ops;
+  {
+    PMJOIN_SPAN("disabled_root");
+    PMJOIN_SPAN_OPS("disabled_ops", &ops);
+    PMJOIN_SPAN_ARG("disabled_arg", 7);
+    PMJOIN_SPAN_OPS_ARG("disabled_both", &ops, 9);
+    ops.distance_terms += 3;
+  }
+  Tracer::Get().StopSession();
+  EXPECT_TRUE(Tracer::Get().TakeEvents().empty());
+  EXPECT_EQ(ops.distance_terms, 3u);  // the macros did not touch the counters
+}
+
+TEST(ObsDisabledTest, MetricMacrosRecordNothingInsideSession) {
+  Counter* counter = MetricsRegistry::Get().counter("test.disabled_tu");
+  Gauge* gauge = MetricsRegistry::Get().gauge("test.disabled_tu_g");
+  Tracer::Get().StartSession(nullptr);
+  counter->Reset();
+  gauge->Reset();
+  PMJOIN_METRIC_COUNT("test.disabled_tu", 5);
+  PMJOIN_METRIC_GAUGE_SET("test.disabled_tu_g", 5);
+  PMJOIN_METRIC_RECORD("test.disabled_tu_h", 5);
+  Tracer::Get().StopSession();
+  Tracer::Get().TakeEvents();
+  EXPECT_EQ(counter->Total(), 0u);
+  EXPECT_EQ(gauge->Value(), 0);
+}
+
+TEST(ObsDisabledTest, MacroOperandsAreNotEvaluated) {
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return uint64_t{1};
+  };
+  Tracer::Get().StartSession(nullptr);
+  PMJOIN_METRIC_COUNT("test.unevaluated", count());
+  PMJOIN_SPAN_ARG("unevaluated", count());
+  Tracer::Get().StopSession();
+  Tracer::Get().TakeEvents();
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pmjoin

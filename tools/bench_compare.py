@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
 """Compare a kernel-benchmark run against a committed baseline.
 
-Reads the JSON Lines emitted by `bench_kernels --json` (rows tagged
-`"table": "distance_kernels"`) from a baseline file and a current run,
-matches rows by label (e.g. "L2/d16"), and compares tiled-kernel
-throughput (`terms_s_tiled`).
+Reads the artifact emitted by `bench_kernels --json` — either the current
+pmjoin.run_report.v1 object (table rows under its "rows" array) or the
+legacy JSON Lines stream — from a baseline file and a current run,
+matches `"table": "distance_kernels"` rows by label (e.g. "L2/d16"), and
+compares tiled-kernel throughput (`terms_s_tiled`). Labels or metrics
+present in only one file are skipped with a warning, so a baseline
+regenerated under an older schema keeps comparing on the rows it has.
 
 The check is deliberately loose: CI runners are noisy, so only a
 catastrophic regression — current throughput below baseline / THRESHOLD
@@ -25,23 +28,43 @@ METRIC = "terms_s_tiled"
 
 
 def load_rows(path):
-    """Returns {label: row} for distance_kernels data rows in a JSONL file."""
-    rows = {}
+    """Returns {label: row} for distance_kernels data rows.
+
+    Accepts both artifact formats: a pmjoin.run_report.v1 object (rows in
+    its "rows" array) and the legacy JSON Lines stream (one object per
+    line)."""
     with open(path, encoding="utf-8") as f:
-        for lineno, line in enumerate(f, 1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                row = json.loads(line)
-            except json.JSONDecodeError as err:
-                print(f"{path}:{lineno}: skipping unparseable line ({err})",
-                      file=sys.stderr)
+        text = f.read()
+
+    def collect(records):
+        rows = {}
+        for row in records:
+            if not isinstance(row, dict):
                 continue
             if row.get("table") != "distance_kernels" or "label" not in row:
                 continue
             rows[row["label"]] = row
-    return rows
+        return rows
+
+    try:
+        obj = json.loads(text)
+    except json.JSONDecodeError:
+        obj = None
+    if isinstance(obj, dict) and str(obj.get("schema", "")).startswith(
+            "pmjoin.run_report"):
+        return collect(obj.get("rows", []))
+
+    records = []
+    for lineno, line in enumerate(text.split("\n"), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as err:
+            print(f"{path}:{lineno}: skipping unparseable line ({err})",
+                  file=sys.stderr)
+    return collect(records)
 
 
 def main():
@@ -69,6 +92,14 @@ def main():
     for label in sorted(base, key=lambda l: (l.split("/")[1], l)):
         if label not in curr:
             print(f"{label:<10} {'(missing in current run)':>33}")
+            continue
+        if METRIC not in base[label]:
+            print(f"{label:<10} warning: {METRIC} missing in baseline; "
+                  "skipped")
+            continue
+        if METRIC not in curr[label]:
+            print(f"{label:<10} warning: {METRIC} missing in current run; "
+                  "skipped")
             continue
         b = float(base[label][METRIC])
         c = float(curr[label][METRIC])

@@ -8,9 +8,14 @@ Rules (see DESIGN.md "Invariants & checking"):
                     bench/, and examples/ (errors travel as Status; fatal
                     invariant violations abort via PMJOIN_CHECK).
   determinism       Every experiment must be exactly reproducible: no
-                    rand()/srand(), std::random_device, wall-clock or
-                    monotonic clock reads, or getenv() in src/ outside the
-                    seeded generator src/common/rng.*.
+                    rand()/srand(), std::random_device, or getenv() in src/
+                    outside the seeded generator src/common/rng.*.
+  wall-clock        Timing is observability metadata, never an input: all
+                    clock reads (std::chrono clocks, clock_gettime,
+                    gettimeofday, time()) in src/, bench/, and examples/
+                    must go through obs::MonotonicNanos(), whose
+                    implementation src/obs/clock.* is the only file allowed
+                    to touch a clock primitive.
   io-accounting     IoStats is the single source of truth for every I/O
                     figure. Counter mutation (mutable_stats) is restricted
                     to the accounting owners (SimulatedDisk, BufferPool),
@@ -44,6 +49,8 @@ DEFAULT_SCAN_DIRS = ("src", "tests", "bench", "examples")
 NO_THROW_DIRS = ("src", "bench", "examples")
 DETERMINISM_DIR = "src"
 DETERMINISM_ALLOWED = ("src/common/rng.h", "src/common/rng.cc")
+WALL_CLOCK_DIRS = ("src", "bench", "examples")
+WALL_CLOCK_ALLOWED = ("src/obs/clock.h", "src/obs/clock.cc")
 MUTABLE_STATS_ALLOWED = (
     "src/io/simulated_disk.h",
     "src/io/simulated_disk.cc",
@@ -57,8 +64,11 @@ KERNEL_DISPATCH_ALLOWED = (
 
 THROW_RE = re.compile(r"\b(throw|try|catch)\b")
 DETERMINISM_RE = re.compile(
-    r"\b(s?rand\s*\(|std::random_device|random_device\s+\w|time\s*\(\s*(NULL|nullptr|0)\s*\)"
-    r"|system_clock|steady_clock|high_resolution_clock|getenv\s*\()"
+    r"\b(s?rand\s*\(|std::random_device|random_device\s+\w|getenv\s*\()"
+)
+WALL_CLOCK_RE = re.compile(
+    r"\b(system_clock|steady_clock|high_resolution_clock"
+    r"|clock_gettime\s*\(|gettimeofday\s*\(|time\s*\(\s*(NULL|nullptr|0)\s*\))"
 )
 MUTABLE_STATS_RE = re.compile(r"\bmutable_stats\s*\(")
 DIRECT_DISK_RE = re.compile(r"(->|\.)\s*(ReadPage|ReadRun|WritePage|ScanFile)\s*\(")
@@ -190,6 +200,16 @@ def lint_file(root, rel_path):
                     f"'{m.group(0).strip()}': unseeded nondeterminism; route "
                     "all randomness through a seeded pmjoin::Rng "
                     "(src/common/rng.h)"))
+        if (in_dirs(rel_path, WALL_CLOCK_DIRS)
+                and rel_path not in WALL_CLOCK_ALLOWED):
+            m = WALL_CLOCK_RE.search(line)
+            if m:
+                findings.append(Finding(
+                    rel_path, lineno, "wall-clock",
+                    f"'{m.group(0).strip()}': clock primitive outside "
+                    "src/obs/clock.*; read time through "
+                    "obs::MonotonicNanos() (obs/clock.h) so timing stays "
+                    "observability-only"))
         if (rel_path.startswith("src/")
                 and rel_path not in KERNEL_DISPATCH_ALLOWED):
             m = KERNEL_DISPATCH_RE.search(line)

@@ -12,6 +12,7 @@
 
 #include "core/join_driver.h"
 #include "harness/bench_util.h"
+#include "io/simulated_disk.h"
 #include "seq/sequence_store.h"
 
 namespace pmjoin {

@@ -15,6 +15,7 @@
 #include "core/join_driver.h"
 #include "data/vector_dataset.h"
 #include "harness/bench_util.h"
+#include "io/simulated_disk.h"
 
 namespace pmjoin {
 namespace bench {

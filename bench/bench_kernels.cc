@@ -16,9 +16,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
+#include <system_error>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -36,7 +40,9 @@
 #include "data/vector_dataset.h"
 #include "geom/mbr.h"
 #include "io/buffer_pool.h"
+#include "io/file_backend.h"
 #include "io/simulated_disk.h"
+#include "io/storage_backend.h"
 #include "obs/clock.h"
 #include "obs/run_report.h"
 #include "seq/edit_distance.h"
@@ -317,6 +323,128 @@ BENCHMARK(BM_ClusterJoinExecutor)
     ->Arg(4)
     ->Arg(8)
     ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Measured-vs-modeled I/O sweep (Arg: 0 = SimulatedDisk, 1 =
+/// FileBackend over a scratch directory). Both rows run the identical
+/// clustered join on identical data, so the modeled counters
+/// (pages_read, seeks) must match between them — the file row fails if
+/// they diverge. The file row additionally pays real pread/checksum
+/// work and exports the measured counters (read_syscalls, read_bytes,
+/// checksum_checks), making the modeled-vs-measured gap a single-json
+/// diff in BENCH_kernels.json.
+void BM_ClusterJoinMeasuredIo(benchmark::State& state) {
+  constexpr uint32_t kPage = 1024;
+  constexpr uint32_t kBufferPages = 16;
+  const bool use_file = state.range(0) == 1;
+
+  std::unique_ptr<StorageBackend> backend;
+  if (use_file) {
+    std::error_code ec;
+    std::filesystem::remove_all("bench-measured-io.tmp", ec);
+    FileBackend::Options options;
+    options.page_size_bytes = kPage;
+    Result<std::unique_ptr<FileBackend>> opened =
+        FileBackend::Open("bench-measured-io.tmp", options);
+    if (!opened.ok()) {
+      state.SkipWithError(opened.status().message().c_str());
+      return;
+    }
+    backend = std::move(opened).value();
+  } else {
+    backend = std::make_unique<SimulatedDisk>(DiskModel(), kPage);
+  }
+  StorageBackend& disk = *backend;
+
+  VectorDataset::Options ds_options;
+  ds_options.page_size_bytes = kPage;
+  auto r = VectorDataset::Build(&disk, "r", GenRoadNetwork(12000, 0x5EED),
+                                ds_options)
+               .value();
+  auto s = VectorDataset::Build(&disk, "s", GenRoadNetwork(10000, 0xFEED),
+                                ds_options)
+               .value();
+  for (const VectorDataset* ds : {&r, &s}) {
+    if (const Status status = ds->Persist(&disk); !status.ok()) {
+      state.SkipWithError(status.message().c_str());
+      return;
+    }
+  }
+  VectorPairJoiner joiner(&r, &s, /*eps=*/0.01, Norm::kL2,
+                          /*self_join=*/false);
+  JoinInput input;
+  input.r_file = r.file_id();
+  input.s_file = s.file_id();
+  input.r_pages = r.num_pages();
+  input.s_pages = s.num_pages();
+  input.self_join = false;
+  input.joiner = &joiner;
+  const PredictionMatrix matrix = BuildPredictionMatrixFlat(
+      r.page_mbrs(), s.page_mbrs(), 0.01, Norm::kL2, nullptr);
+  const std::vector<Cluster> clusters =
+      SquareClustering(matrix, kBufferPages, nullptr);
+  const std::vector<uint32_t> order = ScheduleClusters(clusters, input,
+                                                       nullptr);
+
+  IoStats io_delta;
+  StorageBackend::MeasuredIo measured_delta;
+  uint64_t result_pairs = 0;
+  const auto run_once = [&]() -> Status {
+    const IoStats io_before = disk.stats();
+    const StorageBackend::MeasuredIo m_before = disk.measured();
+    BufferPool pool(&disk, kBufferPages);
+    CountingSink sink;
+    const Status status = ExecuteClusteredJoin(input, clusters, order,
+                                               &pool, &sink, nullptr,
+                                               ExecutorOptions{});
+    if (!status.ok()) return status;
+    io_delta = disk.stats().Delta(io_before);
+    const StorageBackend::MeasuredIo m = disk.measured();
+    measured_delta.read_syscalls = m.read_syscalls - m_before.read_syscalls;
+    measured_delta.read_bytes = m.read_bytes - m_before.read_bytes;
+    measured_delta.checksum_checks =
+        m.checksum_checks - m_before.checksum_checks;
+    result_pairs = sink.count();
+    return Status::OK();
+  };
+
+  // Same untimed warm-up rationale as BM_ClusterJoinExecutor: normalize
+  // the modeled head position so every timed iteration's delta is the
+  // steady-state stream.
+  if (const Status status = run_once(); !status.ok()) {
+    state.SkipWithError(status.message().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    if (const Status status = run_once(); !status.ok()) {
+      state.SkipWithError(status.message().c_str());
+      break;
+    }
+  }
+
+  // The modeled stream must not depend on the backend (the determinism
+  // invariant the storage layer promises): remember the sim row's
+  // counters and fail the file row on any divergence.
+  static std::optional<IoStats> sim_delta;
+  if (!use_file) {
+    sim_delta = io_delta;
+  } else if (sim_delta && !(*sim_delta == io_delta)) {
+    state.SkipWithError("modeled I/O diverged between sim and file backends");
+  }
+
+  state.counters["pages_read"] = static_cast<double>(io_delta.pages_read);
+  state.counters["seeks"] = static_cast<double>(io_delta.seeks);
+  state.counters["read_syscalls"] =
+      static_cast<double>(measured_delta.read_syscalls);
+  state.counters["read_bytes"] =
+      static_cast<double>(measured_delta.read_bytes);
+  state.counters["checksum_checks"] =
+      static_cast<double>(measured_delta.checksum_checks);
+  state.counters["result_pairs"] = static_cast<double>(result_pairs);
+}
+BENCHMARK(BM_ClusterJoinMeasuredIo)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 void BM_JoinStringPages(benchmark::State& state) {

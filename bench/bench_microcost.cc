@@ -14,6 +14,7 @@
 #include "core/scheduler.h"
 #include "harness/bench_util.h"
 #include "io/buffer_pool.h"
+#include "io/simulated_disk.h"
 
 namespace pmjoin {
 namespace bench {

@@ -16,6 +16,7 @@
 #include "common/rng.h"
 #include "core/join_driver.h"
 #include "data/generators.h"
+#include "io/simulated_disk.h"
 #include "seq/sequence_store.h"
 
 int main() {

@@ -12,6 +12,7 @@
 #include "core/join_driver.h"
 #include "data/generators.h"
 #include "data/vector_dataset.h"
+#include "io/simulated_disk.h"
 
 int main() {
   using namespace pmjoin;

@@ -15,6 +15,7 @@
 #include "core/join_driver.h"
 #include "data/generators.h"
 #include "data/vector_dataset.h"
+#include "io/simulated_disk.h"
 
 namespace {
 

@@ -81,14 +81,14 @@ Status ExpandLevel(const RStarTree& rt, const RStarTree& st,
 
 /// Charges write + read-back of an intermediate list that exceeds the
 /// in-buffer allowance.
-Status SpillIntermediate(SimulatedDisk* disk, uint64_t pages) {
+Status SpillIntermediate(StorageBackend* disk, uint64_t pages) {
   if (pages == 0) return Status::OK();
   const uint32_t file = disk->CreateFile(
       "bfrj-intermediate", static_cast<uint32_t>(pages));
   for (uint32_t p = 0; p < pages; ++p) {
     PMJOIN_RETURN_IF_ERROR(disk->WritePage({file, p}));
   }
-  PMJOIN_RETURN_IF_ERROR(disk->ReadRun({file, 0},
+  PMJOIN_RETURN_IF_ERROR(disk->ReadPages({file, 0},
                                        static_cast<uint32_t>(pages)));
   return Status::OK();
 }
@@ -97,7 +97,7 @@ Status SpillIntermediate(SimulatedDisk* disk, uint64_t pages) {
 
 Status BfrjJoin(const RStarTree& r_tree, const RStarTree& s_tree,
                 const JoinInput& input, double threshold, Norm norm,
-                uint32_t page_size_bytes, SimulatedDisk* disk,
+                uint32_t page_size_bytes, StorageBackend* disk,
                 BufferPool* pool, PairSink* sink, OpCounters* ops) {
   if (!r_tree.file_id().has_value() || !s_tree.file_id().has_value())
     return Status::InvalidArgument("BFRJ: trees need attached node files");

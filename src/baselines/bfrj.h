@@ -37,7 +37,7 @@ namespace pmjoin {
 /// node accesses are charged.
 Status BfrjJoin(const RStarTree& r_tree, const RStarTree& s_tree,
                 const JoinInput& input, double threshold, Norm norm,
-                uint32_t page_size_bytes, SimulatedDisk* disk,
+                uint32_t page_size_bytes, StorageBackend* disk,
                 BufferPool* pool, PairSink* sink, OpCounters* ops);
 
 /// The peak intermediate-list size (in pages of `page_size_bytes`) that

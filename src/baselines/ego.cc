@@ -46,7 +46,7 @@ int64_t CellOf(float v, double width) {
 
 /// Sorts `features` (with `positions` parallel) into ε-grid lexicographic
 /// order and registers the sorted copy on disk (charging the copy write).
-Status BuildEgoSide(SimulatedDisk* disk, std::string_view name,
+Status BuildEgoSide(StorageBackend* disk, std::string_view name,
                     std::vector<float> features,
                     std::vector<uint64_t> positions, size_t dims,
                     double cell_width, uint32_t page_size_bytes,
@@ -161,7 +161,7 @@ Status EgoSweep(const EgoSide& r, const EgoSide& s, double cell_width,
 
 Status EgoJoinVectors(const VectorDataset& r, const VectorDataset& s,
                       bool self_join, double eps, Norm norm,
-                      SimulatedDisk* disk, BufferPool* pool, PairSink* sink,
+                      StorageBackend* disk, BufferPool* pool, PairSink* sink,
                       OpCounters* ops) {
   if (self_join && &r != &s)
     return Status::InvalidArgument("self_join requires identical datasets");
@@ -208,7 +208,7 @@ namespace {
 /// the original scan + materialized write), sweep in feature space, verify
 /// candidates against the original pages with random reads.
 template <typename VerifyFn>
-Status EgoJoinSequenceImpl(SimulatedDisk* disk, BufferPool* pool,
+Status EgoJoinSequenceImpl(StorageBackend* disk, BufferPool* pool,
                            OpCounters* ops, bool self_join,
                            std::vector<float> r_feat,
                            std::vector<uint64_t> r_pos,
@@ -238,7 +238,7 @@ Status EgoJoinSequenceImpl(SimulatedDisk* disk, BufferPool* pool,
 }  // namespace
 
 Status EgoJoinTimeSeries(const TimeSeriesStore& r, const TimeSeriesStore& s,
-                         bool self_join, double eps, SimulatedDisk* disk,
+                         bool self_join, double eps, StorageBackend* disk,
                          BufferPool* pool, PairSink* sink,
                          OpCounters* ops) {
   if (self_join && &r != &s)
@@ -302,7 +302,7 @@ Status EgoJoinTimeSeries(const TimeSeriesStore& r, const TimeSeriesStore& s,
 
 Status EgoJoinStrings(const StringSequenceStore& r,
                       const StringSequenceStore& s, bool self_join,
-                      uint32_t max_edits, SimulatedDisk* disk,
+                      uint32_t max_edits, StorageBackend* disk,
                       BufferPool* pool, PairSink* sink, OpCounters* ops) {
   if (self_join && &r != &s)
     return Status::InvalidArgument("self_join requires identical stores");

@@ -37,18 +37,18 @@ namespace pmjoin {
 /// ε-join of two vector datasets. `self_join` requires r == s.
 Status EgoJoinVectors(const VectorDataset& r, const VectorDataset& s,
                       bool self_join, double eps, Norm norm,
-                      SimulatedDisk* disk, BufferPool* pool, PairSink* sink,
+                      StorageBackend* disk, BufferPool* pool, PairSink* sink,
                       OpCounters* ops);
 
 /// Subsequence ε-join (L2) of two time series.
 Status EgoJoinTimeSeries(const TimeSeriesStore& r, const TimeSeriesStore& s,
-                         bool self_join, double eps, SimulatedDisk* disk,
+                         bool self_join, double eps, StorageBackend* disk,
                          BufferPool* pool, PairSink* sink, OpCounters* ops);
 
 /// Subsequence edit-distance join of two strings.
 Status EgoJoinStrings(const StringSequenceStore& r,
                       const StringSequenceStore& s, bool self_join,
-                      uint32_t max_edits, SimulatedDisk* disk,
+                      uint32_t max_edits, StorageBackend* disk,
                       BufferPool* pool, PairSink* sink, OpCounters* ops);
 
 }  // namespace pmjoin

@@ -74,7 +74,7 @@ class TileGrid {
 
 Status PbsmJoinVectors(const VectorDataset& r, const VectorDataset& s,
                        bool self_join, double eps, Norm norm,
-                       SimulatedDisk* disk, BufferPool* pool,
+                       StorageBackend* disk, BufferPool* pool,
                        PairSink* sink, OpCounters* ops,
                        const PbsmOptions& options) {
   if (self_join && &r != &s)
@@ -152,7 +152,7 @@ Status PbsmJoinVectors(const VectorDataset& r, const VectorDataset& s,
   for (uint32_t part = 0; part < partitions; ++part) {
     const uint32_t pages = disk->file(part_files[part]).num_pages;
     if (pages > 0) {
-      PMJOIN_RETURN_IF_ERROR(disk->ReadRun({part_files[part], 0}, pages));
+      PMJOIN_RETURN_IF_ERROR(disk->ReadPages({part_files[part], 0}, pages));
     }
     const std::vector<PartEntry>& entries = parts[part];
     // Split sides (self join: the same entries serve as both sides).

@@ -43,7 +43,7 @@ struct PbsmOptions {
 /// becomes a poor filter in high-d, which is PBSM's known failure mode).
 Status PbsmJoinVectors(const VectorDataset& r, const VectorDataset& s,
                        bool self_join, double eps, Norm norm,
-                       SimulatedDisk* disk, BufferPool* pool,
+                       StorageBackend* disk, BufferPool* pool,
                        PairSink* sink, OpCounters* ops,
                        const PbsmOptions& options = PbsmOptions());
 

@@ -46,7 +46,7 @@ std::string AlgorithmName(Algorithm algorithm) {
   return "?";
 }
 
-JoinDriver::JoinDriver(SimulatedDisk* disk, CpuCostModel cpu_model)
+JoinDriver::JoinDriver(StorageBackend* disk, CpuCostModel cpu_model)
     : disk_(disk), cpu_model_(cpu_model) {}
 
 const RStarTree* JoinDriver::SequencePageTree(
@@ -73,7 +73,7 @@ namespace {
 Status RunMatrixAlgorithm(const JoinInput& input,
                           const PredictionMatrix& matrix,
                           const JoinOptions& options, const DiskModel& model,
-                          SimulatedDisk* disk, PairSink* sink,
+                          StorageBackend* disk, PairSink* sink,
                           OpCounters* ops, uint64_t* num_clusters) {
   BufferPool pool(disk, options.buffer_pages);
   switch (options.algorithm) {

@@ -15,7 +15,7 @@
 #include "data/vector_dataset.h"
 #include "index/rstar_tree.h"
 #include "geom/distance.h"
-#include "io/simulated_disk.h"
+#include "io/storage_backend.h"
 #include "seq/sequence_store.h"
 
 namespace pmjoin {
@@ -112,7 +112,7 @@ struct JoinReport {
 /// sequence page trees are created on the driver's disk on first use.
 class JoinDriver {
  public:
-  explicit JoinDriver(SimulatedDisk* disk,
+  explicit JoinDriver(StorageBackend* disk,
                       CpuCostModel cpu_model = CpuCostModel());
 
   /// ε-join of two vector datasets (pass the same object twice for a self
@@ -133,7 +133,7 @@ class JoinDriver {
                                uint32_t max_edits,
                                const JoinOptions& options, PairSink* sink);
 
-  SimulatedDisk* disk() { return disk_; }
+  StorageBackend* disk() { return disk_; }
   const CpuCostModel& cpu_model() const { return cpu_model_; }
 
  private:
@@ -142,7 +142,7 @@ class JoinDriver {
   const RStarTree* SequencePageTree(const void* store_key,
                                     const std::vector<Mbr>& page_mbrs);
 
-  SimulatedDisk* disk_;
+  StorageBackend* disk_;
   CpuCostModel cpu_model_;
   std::unordered_map<const void*, std::unique_ptr<RStarTree>> seq_trees_;
 };

@@ -4,7 +4,7 @@
 
 namespace pmjoin {
 
-Result<StringSequenceStore> BuildDnaStore(SimulatedDisk* disk,
+Result<StringSequenceStore> BuildDnaStore(StorageBackend* disk,
                                           std::string_view name,
                                           const DnaStoreParams& params) {
   std::vector<uint8_t> seq =
@@ -15,7 +15,7 @@ Result<StringSequenceStore> BuildDnaStore(SimulatedDisk* disk,
                                     params.page_size_bytes);
 }
 
-Status BuildDnaStorePair(SimulatedDisk* disk, std::string_view name_a,
+Status BuildDnaStorePair(StorageBackend* disk, std::string_view name_a,
                          std::string_view name_b, const DnaStoreParams& a,
                          const DnaStoreParams& b,
                          StringSequenceStore* out_a,
@@ -39,7 +39,7 @@ Status BuildDnaStorePair(SimulatedDisk* disk, std::string_view name_a,
   return Status::OK();
 }
 
-Result<TimeSeriesStore> BuildWalkStore(SimulatedDisk* disk,
+Result<TimeSeriesStore> BuildWalkStore(StorageBackend* disk,
                                        std::string_view name,
                                        const WalkStoreParams& params) {
   std::vector<float> series =

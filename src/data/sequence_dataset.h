@@ -5,7 +5,7 @@
 #include <string_view>
 
 #include "common/result.h"
-#include "io/simulated_disk.h"
+#include "io/storage_backend.h"
 #include "seq/sequence_store.h"
 
 namespace pmjoin {
@@ -24,13 +24,13 @@ struct DnaStoreParams {
 };
 
 /// Builds a DNA StringSequenceStore from the synthetic genome generator.
-Result<StringSequenceStore> BuildDnaStore(SimulatedDisk* disk,
+Result<StringSequenceStore> BuildDnaStore(StorageBackend* disk,
                                           std::string_view name,
                                           const DnaStoreParams& params);
 
 /// Builds a homologous pair of DNA stores (shared motif pool — the
 /// HChr18/MChr18 stand-in). Both stores are registered on `disk`.
-Status BuildDnaStorePair(SimulatedDisk* disk, std::string_view name_a,
+Status BuildDnaStorePair(StorageBackend* disk, std::string_view name_a,
                          std::string_view name_b, const DnaStoreParams& a,
                          const DnaStoreParams& b,
                          StringSequenceStore* out_a,
@@ -48,7 +48,7 @@ struct WalkStoreParams {
 };
 
 /// Builds a stock-like TimeSeriesStore from the random-walk generator.
-Result<TimeSeriesStore> BuildWalkStore(SimulatedDisk* disk,
+Result<TimeSeriesStore> BuildWalkStore(StorageBackend* disk,
                                        std::string_view name,
                                        const WalkStoreParams& params);
 

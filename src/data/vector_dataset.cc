@@ -2,12 +2,21 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include "index/str_bulk_load.h"
+#include "io/wire.h"
 
 namespace pmjoin {
 
-Result<VectorDataset> VectorDataset::Build(SimulatedDisk* disk,
+namespace {
+
+/// Metadata sidecar format version tag ("PMJVDS" + version byte pair).
+constexpr uint64_t kVectorMetaMagic = 0x31305344564A4D50ULL;  // "PMJVDS01"
+
+}  // namespace
+
+Result<VectorDataset> VectorDataset::Build(StorageBackend* disk,
                                            std::string_view name,
                                            VectorData data, Options options) {
   if (disk == nullptr)
@@ -78,6 +87,112 @@ Result<VectorDataset> VectorDataset::Build(SimulatedDisk* disk,
   ds.file_id_ = disk->CreateFile(
       name, static_cast<uint32_t>(ds.page_mbrs_.size()));
   // Node file for index-based operators (BFRJ) so node I/O is chargeable.
+  ds.tree_.AttachFile(disk, std::string(name) + ".idx");
+  return ds;
+}
+
+Status VectorDataset::Persist(StorageBackend* disk) const {
+  if (disk == nullptr)
+    return Status::InvalidArgument("Persist: null backend");
+  if (file_id_ >= disk->NumFiles() ||
+      disk->num_pages(file_id_) != num_pages())
+    return Status::InvalidArgument(
+        "Persist: dataset was not built on this backend");
+  const size_t record_bytes = dims_ * sizeof(float);
+  if (size_t(records_per_page_) * record_bytes > disk->page_size_bytes())
+    return Status::InvalidArgument(
+        "Persist: dataset page does not fit a backend page");
+  const std::string& name = disk->file(file_id_).name;
+
+  // Data pages: the records of page p, unpadded, in packed order.
+  std::vector<uint8_t> payload(size_t(records_per_page_) * record_bytes);
+  for (uint32_t p = 0; p < num_pages(); ++p) {
+    const uint32_t cnt = PageRecordCount(p);
+    for (uint32_t s = 0; s < cnt; ++s) {
+      std::memcpy(payload.data() + size_t(s) * record_bytes,
+                  packed_.data() +
+                      (uint64_t(p) * records_per_page_ + s) * stride_,
+                  record_bytes);
+    }
+    PMJOIN_RETURN_IF_ERROR(disk->WritePagePayload(
+        {file_id_, p},
+        std::span<const uint8_t>(payload.data(), size_t(cnt) * record_bytes)));
+  }
+
+  // Metadata sidecar: everything Open needs that the pages don't hold.
+  std::vector<uint8_t> meta;
+  wire::AppendU64(&meta, kVectorMetaMagic);
+  wire::AppendU32(&meta, static_cast<uint32_t>(dims_));
+  wire::AppendU32(&meta, records_per_page_);
+  wire::AppendU64(&meta, num_records());
+  wire::AppendU32(&meta, num_pages());
+  for (uint64_t id : orig_ids_) wire::AppendU64(&meta, id);
+  PMJOIN_ASSIGN_OR_RETURN(uint32_t meta_file,
+                          WriteBlobFile(disk, std::string(name) + ".meta",
+                                        meta));
+  (void)meta_file;
+  return disk->Sync();
+}
+
+Result<VectorDataset> VectorDataset::Open(StorageBackend* disk,
+                                          std::string_view name) {
+  if (disk == nullptr) return Status::InvalidArgument("Open: null backend");
+  PMJOIN_ASSIGN_OR_RETURN(uint32_t meta_file,
+                          disk->FindFile(std::string(name) + ".meta"));
+  PMJOIN_ASSIGN_OR_RETURN(std::vector<uint8_t> blob,
+                          ReadFileBlob(disk, meta_file));
+  wire::Reader r{std::span<const uint8_t>(blob)};
+  if (r.U64() != kVectorMetaMagic)
+    return Status::Corruption("VectorDataset: bad metadata magic");
+  VectorDataset ds;
+  ds.dims_ = r.U32();
+  ds.records_per_page_ = r.U32();
+  const uint64_t num_records = r.U64();
+  const uint32_t num_pages = r.U32();
+  if (!r.ok || ds.dims_ == 0 || ds.records_per_page_ == 0 ||
+      num_records == 0 ||
+      num_pages != (num_records + ds.records_per_page_ - 1) /
+                       ds.records_per_page_ ||
+      num_records > (blob.size() / 8))
+    return Status::Corruption("VectorDataset: bad metadata header");
+  ds.orig_ids_.resize(num_records);
+  ds.origin_pos_.resize(num_records);
+  for (uint64_t i = 0; i < num_records; ++i) {
+    const uint64_t id = r.U64();
+    if (id >= num_records)
+      return Status::Corruption("VectorDataset: original id out of range");
+    ds.orig_ids_[i] = id;
+    ds.origin_pos_[id] = i;
+  }
+  if (!r.ok) return Status::Corruption("VectorDataset: truncated metadata");
+
+  PMJOIN_ASSIGN_OR_RETURN(uint32_t data_file, disk->FindFile(name));
+  if (disk->num_pages(data_file) < num_pages)
+    return Status::Corruption("VectorDataset: data file too short");
+  ds.file_id_ = data_file;
+  ds.stride_ = kernels::PaddedWidth(ds.dims_);
+  const size_t record_bytes = ds.dims_ * sizeof(float);
+  ds.packed_.assign(size_t(num_pages) * ds.records_per_page_ * ds.stride_,
+                    0.0f);
+  ds.page_mbrs_.reserve(num_pages);
+  std::vector<RStarTree::Entry> leaf_entries;
+  leaf_entries.reserve(num_pages);
+  std::vector<uint8_t> payload(disk->page_size_bytes());
+  for (uint32_t p = 0; p < num_pages; ++p) {
+    PMJOIN_RETURN_IF_ERROR(disk->ReadPagePayload({data_file, p}, payload));
+    Mbr page_mbr(ds.dims_);
+    const uint32_t cnt = ds.PageRecordCount(p);
+    for (uint32_t s = 0; s < cnt; ++s) {
+      float* row = ds.packed_.data() +
+                   (uint64_t(p) * ds.records_per_page_ + s) * ds.stride_;
+      std::memcpy(row, payload.data() + size_t(s) * record_bytes,
+                  record_bytes);
+      page_mbr.Expand(std::span<const float>(row, ds.dims_));
+    }
+    leaf_entries.push_back(RStarTree::Entry{page_mbr, p});
+    ds.page_mbrs_.push_back(std::move(page_mbr));
+  }
+  ds.tree_ = RStarTree::BulkLoadStr(ds.dims_, std::move(leaf_entries));
   ds.tree_.AttachFile(disk, std::string(name) + ".idx");
   return ds;
 }

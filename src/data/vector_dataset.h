@@ -11,7 +11,7 @@
 #include "geom/distance_kernels.h"
 #include "geom/mbr.h"
 #include "index/rstar_tree.h"
-#include "io/simulated_disk.h"
+#include "io/storage_backend.h"
 
 namespace pmjoin {
 
@@ -37,9 +37,26 @@ class VectorDataset {
 
   /// Builds the dataset on `disk`. Fails if a page cannot hold at least
   /// one record or `data` is empty.
-  static Result<VectorDataset> Build(SimulatedDisk* disk,
+  static Result<VectorDataset> Build(StorageBackend* disk,
                                      std::string_view name, VectorData data,
                                      Options options);
+
+  /// Writes the dataset's payload bytes to its backend file plus a
+  /// `<name>.meta` sidecar file, so `Open` can restore it later (from a
+  /// fresh process when the backend is persistent). Build itself charges
+  /// no payload writes — persisting is an explicit, separately-charged
+  /// step — so a join's modeled I/O is unchanged by whether the dataset
+  /// was persisted. `disk` must be the backend the dataset was built on.
+  Status Persist(StorageBackend* disk) const;
+
+  /// Restores a dataset persisted as `name`. The page contents, page MBRs,
+  /// original-id mapping, and bulk-loaded R*-tree are reconstructed
+  /// bit-identically to the original build (floats round-trip exactly;
+  /// every derived structure is recomputed by the same deterministic
+  /// code), so joins against a reopened dataset match the fresh build
+  /// byte for byte.
+  static Result<VectorDataset> Open(StorageBackend* disk,
+                                    std::string_view name);
 
   size_t dims() const { return dims_; }
   uint64_t num_records() const { return orig_ids_.size(); }

@@ -351,7 +351,7 @@ void RStarTree::DistanceSearch(const Mbr& query, double eps, Norm norm,
   }
 }
 
-void RStarTree::AttachFile(SimulatedDisk* disk, std::string_view name) {
+void RStarTree::AttachFile(StorageBackend* disk, std::string_view name) {
   file_id_ = disk->CreateFile(name, static_cast<uint32_t>(nodes_.size()));
 }
 

@@ -9,7 +9,7 @@
 
 #include "common/status.h"
 #include "geom/mbr.h"
-#include "io/simulated_disk.h"
+#include "io/storage_backend.h"
 
 namespace pmjoin {
 
@@ -94,7 +94,7 @@ class RStarTree {
 
   /// Registers a `NumNodes()`-page file on `disk` so traversals can charge
   /// node I/O (node n lives on page n). Call after the tree is built.
-  void AttachFile(SimulatedDisk* disk, std::string_view name);
+  void AttachFile(StorageBackend* disk, std::string_view name);
 
   /// The attached node file id, if any.
   std::optional<uint32_t> file_id() const { return file_id_; }

@@ -9,7 +9,7 @@
 
 namespace pmjoin {
 
-BufferPool::BufferPool(SimulatedDisk* disk, uint32_t capacity)
+BufferPool::BufferPool(StorageBackend* disk, uint32_t capacity)
     : disk_(disk), capacity_(capacity) {
   assert(disk != nullptr);
   assert(capacity > 0);
@@ -119,8 +119,23 @@ Status BufferPool::PinBatch(std::span<const PageId> pages) {
     for (size_t i = 0; i < done; ++i) Unpin(ordered[i]);
     return st;
   }
-  std::vector<PageRun> schedule = BuildSchedule(*disk_, std::move(missed));
-  return ExecuteSchedule(disk_, schedule);
+  std::vector<PageRun> schedule = BuildSchedule(*disk_, missed);
+  st = ExecuteSchedule(disk_, schedule);
+  if (!st.ok()) {
+    // A physical read failure (e.g. a FileBackend checksum mismatch)
+    // arrives after every pin in the batch is held: release them all and
+    // drop the missed pages' residency — their payloads were never
+    // (completely) read, so leaving them resident would let a later Pin
+    // treat a never-read page as a hit.
+    for (const PageId& pid : ordered) Unpin(pid);
+    for (const PageId& pid : missed) {
+      auto it = frames_.find(pid);
+      if (it == frames_.end()) continue;
+      if (it->second.in_lru) lru_.erase(it->second.lru_pos);
+      frames_.erase(it);
+    }
+  }
+  return st;
 }
 
 void BufferPool::UnpinBatch(std::span<const PageId> pages) {

@@ -9,7 +9,7 @@
 
 #include "common/status.h"
 #include "io/page_file.h"
-#include "io/simulated_disk.h"
+#include "io/storage_backend.h"
 
 namespace pmjoin {
 
@@ -28,7 +28,7 @@ namespace pmjoin {
 class BufferPool {
  public:
   /// A pool holding at most `capacity` pages. `disk` must outlive the pool.
-  BufferPool(SimulatedDisk* disk, uint32_t capacity);
+  BufferPool(StorageBackend* disk, uint32_t capacity);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -49,8 +49,11 @@ class BufferPool {
   /// `pages.size() + pinned pages` must be <= capacity.
   ///
   /// Failure is NOT state-neutral: pins acquired before the failure are
-  /// rolled back, but evictions already performed, `buffer_hits` already
-  /// charged, and refreshed LRU positions are not restored. A caller that
+  /// rolled back (and, when the physical read of the miss set fails — a
+  /// FileBackend checksum mismatch, say — the missed pages' residency is
+  /// dropped too, since their payloads were never read), but evictions
+  /// already performed, `buffer_hits` already charged, and refreshed LRU
+  /// positions are not restored. A caller that
   /// depends on accounting equivalence (the parallel executor's prefetch,
   /// core/executor.cc) must gate the call so it provably cannot fail —
   /// evictions needed must not exceed the evictable pages *outside* the
@@ -94,7 +97,7 @@ class BufferPool {
     return static_cast<uint32_t>(frames_.size()) - pinned_count_;
   }
 
-  SimulatedDisk* disk() { return disk_; }
+  StorageBackend* disk() { return disk_; }
 
  private:
   struct Frame {
@@ -111,7 +114,7 @@ class BufferPool {
   /// Evicts one LRU unpinned page; BufferFull if none exists.
   Status EvictOne();
 
-  SimulatedDisk* disk_;
+  StorageBackend* disk_;
   uint32_t capacity_;
   uint32_t pinned_count_ = 0;
   std::unordered_map<PageId, Frame, PageIdHash> frames_;

@@ -1,0 +1,17 @@
+#ifndef PMJOIN_IO_CHECKSUM_H_
+#define PMJOIN_IO_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pmjoin {
+
+/// XXH64 (Yann Collet's xxHash, 64-bit variant), implemented locally so the
+/// file backend has a fast page checksum without an external dependency.
+/// Matches the reference algorithm bit-for-bit, so on-disk checksums remain
+/// verifiable with standard tooling.
+uint64_t Xxh64(const void* data, size_t len, uint64_t seed = 0);
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_IO_CHECKSUM_H_

@@ -6,7 +6,7 @@
 
 namespace pmjoin {
 
-std::vector<PageRun> BuildSchedule(const SimulatedDisk& disk,
+std::vector<PageRun> BuildSchedule(const StorageBackend& disk,
                                    std::vector<PageId> pages) {
   std::vector<PageRun> runs;
   if (pages.empty()) return runs;
@@ -34,11 +34,11 @@ std::vector<PageRun> BuildSchedule(const SimulatedDisk& disk,
   return runs;
 }
 
-Status ExecuteSchedule(SimulatedDisk* disk, const std::vector<PageRun>& runs) {
+Status ExecuteSchedule(StorageBackend* disk, const std::vector<PageRun>& runs) {
   PMJOIN_METRIC_COUNT("disk_scheduler.schedules", 1);
   PMJOIN_METRIC_COUNT("disk_scheduler.runs", runs.size());
   for (const PageRun& run : runs) {
-    PMJOIN_RETURN_IF_ERROR(disk->ReadRun(run.start, run.length));
+    PMJOIN_RETURN_IF_ERROR(disk->ReadPages(run.start, run.length));
   }
   return Status::OK();
 }

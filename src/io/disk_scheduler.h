@@ -6,7 +6,7 @@
 
 #include "common/status.h"
 #include "io/page_file.h"
-#include "io/simulated_disk.h"
+#include "io/storage_backend.h"
 
 namespace pmjoin {
 
@@ -23,11 +23,11 @@ struct PageRun {
 ///
 /// `BuildSchedule` is deterministic and duplicate-free: duplicate PageIds
 /// are fetched once.
-std::vector<PageRun> BuildSchedule(const SimulatedDisk& disk,
+std::vector<PageRun> BuildSchedule(const StorageBackend& disk,
                                    std::vector<PageId> pages);
 
 /// Executes a schedule against the disk (charges I/O).
-Status ExecuteSchedule(SimulatedDisk* disk, const std::vector<PageRun>& runs);
+Status ExecuteSchedule(StorageBackend* disk, const std::vector<PageRun>& runs);
 
 }  // namespace pmjoin
 

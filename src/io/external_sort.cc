@@ -26,7 +26,7 @@ ExternalSortPlan PlanExternalSort(uint64_t pages, uint32_t buffer_pages) {
   return plan;
 }
 
-Status ChargeExternalSort(SimulatedDisk* disk, uint32_t pages,
+Status ChargeExternalSort(StorageBackend* disk, uint32_t pages,
                           uint32_t buffer_pages) {
   if (pages == 0) return Status::OK();
   PMJOIN_SPAN_ARG("external_sort", pages);
@@ -38,7 +38,7 @@ Status ChargeExternalSort(SimulatedDisk* disk, uint32_t pages,
   // Run formation: read input chunks, write sorted runs.
   for (uint32_t p = 0; p < pages; p += plan.buffer_pages) {
     const uint32_t len = std::min<uint32_t>(plan.buffer_pages, pages - p);
-    PMJOIN_RETURN_IF_ERROR(disk->ReadRun({scratch_a, p}, len));
+    PMJOIN_RETURN_IF_ERROR(disk->ReadPages({scratch_a, p}, len));
     for (uint32_t i = 0; i < len; ++i) {
       PMJOIN_RETURN_IF_ERROR(disk->WritePage({scratch_b, p + i}));
     }
@@ -50,7 +50,7 @@ Status ChargeExternalSort(SimulatedDisk* disk, uint32_t pages,
   for (uint32_t pass = 0; pass < plan.merge_passes; ++pass) {
     for (uint32_t start = 0; start < pages; start += fan_in) {
       const uint32_t len = std::min<uint32_t>(fan_in, pages - start);
-      PMJOIN_RETURN_IF_ERROR(disk->ReadRun({src, start}, len));
+      PMJOIN_RETURN_IF_ERROR(disk->ReadPages({src, start}, len));
       for (uint32_t i = 0; i < len; ++i) {
         PMJOIN_RETURN_IF_ERROR(disk->WritePage({dst, start + i}));
       }

@@ -4,7 +4,7 @@
 #include <cstdint>
 
 #include "common/status.h"
-#include "io/simulated_disk.h"
+#include "io/storage_backend.h"
 
 namespace pmjoin {
 
@@ -39,7 +39,7 @@ ExternalSortPlan PlanExternalSort(uint64_t pages, uint32_t buffer_pages);
 /// Charges the plan's I/O against `disk` using scratch files (reads and
 /// writes stream in buffer-sized chunks; one seek per chunk switch, the
 /// alternating-extent behaviour of a two-drive-free merge sort).
-Status ChargeExternalSort(SimulatedDisk* disk, uint32_t pages,
+Status ChargeExternalSort(StorageBackend* disk, uint32_t pages,
                           uint32_t buffer_pages);
 
 }  // namespace pmjoin

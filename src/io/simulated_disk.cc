@@ -1,89 +1,42 @@
 #include "io/simulated_disk.h"
 
-#include <cassert>
+#include <cstring>
 
 namespace pmjoin {
 
-SimulatedDisk::SimulatedDisk(DiskModel model) : model_(model) {}
+void SimulatedDisk::DoCreateFile(uint32_t /*file_id*/,
+                                 std::string_view /*name*/,
+                                 uint32_t /*initial_pages*/) {}
 
-uint32_t SimulatedDisk::CreateFile(std::string_view name,
-                                   uint32_t initial_pages) {
-  PageFile f;
-  f.id = static_cast<uint32_t>(files_.size());
-  f.name = std::string(name);
-  f.num_pages = initial_pages;
-  f.base_offset = uint64_t(f.id) * kFileRegionPages;
-  files_.push_back(std::move(f));
-  return files_.back().id;
-}
-
-Result<uint32_t> SimulatedDisk::Append(uint32_t file, uint32_t pages) {
-  if (file >= files_.size())
-    return Status::InvalidArgument("Append: bad file id");
-  PageFile& f = files_[file];
-  const uint32_t first = f.num_pages;
-  if (uint64_t(f.num_pages) + pages > kFileRegionPages)
-    return Status::OutOfRange("Append: file region exhausted");
-  f.num_pages += pages;
-  return first;
-}
-
-Status SimulatedDisk::CheckPage(PageId pid) const {
-  if (pid.file >= files_.size())
-    return Status::InvalidArgument("bad file id");
-  if (pid.page >= files_[pid.file].num_pages)
-    return Status::OutOfRange("page index out of bounds");
+Status SimulatedDisk::DoAllocatePages(uint32_t /*file*/,
+                                      uint32_t /*first_new*/,
+                                      uint32_t /*count*/) {
   return Status::OK();
 }
 
-void SimulatedDisk::Access(uint64_t physical, uint32_t run_len,
-                           bool is_write) {
-  if (physical != next_sequential_) {
-    ++stats_.seeks;
-  } else if (!is_write) {
-    ++stats_.sequential_reads;
-    // Count the remaining pages of the run as sequential too.
-    stats_.sequential_reads += run_len - 1;
+Status SimulatedDisk::DoReadPages(PageId pid, uint32_t count,
+                                  uint8_t* payload_out) {
+  if (payload_out == nullptr) return Status::OK();
+  for (uint32_t i = 0; i < count; ++i) {
+    uint8_t* dst = payload_out + uint64_t(i) * page_size_bytes();
+    std::memset(dst, 0, page_size_bytes());
+    auto it = payloads_.find({pid.file, pid.page + i});
+    if (it != payloads_.end())
+      std::memcpy(dst, it->second.data(), it->second.size());
   }
-  if (is_write) {
-    stats_.pages_written += run_len;
-  } else {
-    stats_.pages_read += run_len;
-    if (physical != next_sequential_ && run_len > 1) {
-      // After the seek, the tail of the run streams sequentially.
-      stats_.sequential_reads += run_len - 1;
-    }
+  return Status::OK();
+}
+
+Status SimulatedDisk::DoWritePage(PageId pid, const uint8_t* payload,
+                                  uint32_t payload_size) {
+  if (payload == nullptr || payload_size == 0) {
+    payloads_.erase(pid);
+    return Status::OK();
   }
-  next_sequential_ = physical + run_len;
-}
-
-Status SimulatedDisk::ReadPage(PageId pid) {
-  PMJOIN_RETURN_IF_ERROR(CheckPage(pid));
-  Access(files_[pid.file].PhysicalOffset(pid.page), 1, /*is_write=*/false);
+  payloads_[pid].assign(payload, payload + payload_size);
   return Status::OK();
 }
 
-Status SimulatedDisk::ReadRun(PageId pid, uint32_t count) {
-  if (count == 0) return Status::OK();
-  PMJOIN_RETURN_IF_ERROR(CheckPage(pid));
-  PMJOIN_RETURN_IF_ERROR(CheckPage({pid.file, pid.page + count - 1}));
-  Access(files_[pid.file].PhysicalOffset(pid.page), count,
-         /*is_write=*/false);
-  return Status::OK();
-}
-
-Status SimulatedDisk::WritePage(PageId pid) {
-  PMJOIN_RETURN_IF_ERROR(CheckPage(pid));
-  Access(files_[pid.file].PhysicalOffset(pid.page), 1, /*is_write=*/true);
-  return Status::OK();
-}
-
-Status SimulatedDisk::ScanFile(uint32_t file) {
-  if (file >= files_.size())
-    return Status::InvalidArgument("ScanFile: bad file id");
-  const PageFile& f = files_[file];
-  if (f.num_pages == 0) return Status::OK();
-  return ReadRun({file, 0}, f.num_pages);
-}
+Status SimulatedDisk::DoSync() { return Status::OK(); }
 
 }  // namespace pmjoin

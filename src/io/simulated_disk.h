@@ -2,91 +2,48 @@
 #define PMJOIN_IO_SIMULATED_DISK_H_
 
 #include <cstdint>
-#include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
-#include "common/result.h"
 #include "common/status.h"
 #include "io/disk_model.h"
-#include "io/io_stats.h"
 #include "io/page_file.h"
+#include "io/storage_backend.h"
 
 namespace pmjoin {
 
-/// Simulated linear disk: tracks the head position and charges a seek for
-/// every non-adjacent page access (paper §4's linear disk model).
+/// Simulated linear disk (paper §4's model): the deterministic, in-RAM
+/// `StorageBackend`. All the seek/transfer accounting lives in the base
+/// class; this backend performs no real I/O, so its `measured()` counters
+/// stay zero and every operation succeeds instantly.
 ///
-/// All I/O performed by the join operators — through the BufferPool or
-/// directly (external sort passes, spill files) — funnels through
-/// `ReadPage`/`WritePage` here, so `stats()` is the single source of truth
-/// for every I/O figure the benchmarks report.
-class SimulatedDisk {
+/// Page payloads written via `WritePagePayload` are retained in RAM so
+/// `Persist`/`Open` round-trips work identically to the file backend
+/// within one process; pages never written read back as zeros.
+class SimulatedDisk final : public StorageBackend {
  public:
-  explicit SimulatedDisk(DiskModel model = DiskModel());
+  explicit SimulatedDisk(DiskModel model = DiskModel(),
+                         uint32_t page_size_bytes = kDefaultPageSizeBytes)
+      : StorageBackend(model, page_size_bytes) {}
 
-  SimulatedDisk(const SimulatedDisk&) = delete;
-  SimulatedDisk& operator=(const SimulatedDisk&) = delete;
+  std::string_view backend_name() const override { return "sim"; }
 
-  /// Creates a file with `initial_pages` pages. Files occupy disjoint
-  /// physical regions; a file may grow later via `Append`.
-  /// Returns the new file's id.
-  uint32_t CreateFile(std::string_view name, uint32_t initial_pages = 0);
-
-  /// Number of files created.
-  size_t NumFiles() const { return files_.size(); }
-
-  /// File metadata; `file` must be a valid id.
-  const PageFile& file(uint32_t file) const { return files_[file]; }
-
-  /// Grows `file` by `pages` pages (they are physically contiguous with the
-  /// file's existing pages). Returns the index of the first new page.
-  Result<uint32_t> Append(uint32_t file, uint32_t pages = 1);
-
-  /// Simulates reading one page: charges one transfer, plus a seek if the
-  /// page is not physically adjacent to the previous access.
-  Status ReadPage(PageId pid);
-
-  /// Simulates reading `count` physically consecutive pages starting at
-  /// `pid` (one seek at most, `count` transfers).
-  Status ReadRun(PageId pid, uint32_t count);
-
-  /// Simulates writing one page (same adjacency rule as reads). The page
-  /// must already exist (use Append to grow the file first).
-  Status WritePage(PageId pid);
-
-  /// Simulates a full sequential scan of a file (one seek + N transfers).
-  Status ScanFile(uint32_t file);
-
-  /// Cumulative I/O counters.
-  const IoStats& stats() const { return stats_; }
-  IoStats& mutable_stats() { return stats_; }
-
-  /// The disk cost model in force.
-  const DiskModel& model() const { return model_; }
-
-  /// Modeled elapsed I/O seconds so far.
-  double ModeledSeconds() const { return stats_.ModeledSeconds(model_); }
-
-  /// Resets counters (not file layout). Used between benchmark phases that
-  /// share a dataset.
-  void ResetStats() { stats_.Reset(); }
+ protected:
+  void DoCreateFile(uint32_t file_id, std::string_view name,
+                    uint32_t initial_pages) override;
+  Status DoAllocatePages(uint32_t file, uint32_t first_new,
+                         uint32_t count) override;
+  Status DoReadPages(PageId pid, uint32_t count,
+                     uint8_t* payload_out) override;
+  Status DoWritePage(PageId pid, const uint8_t* payload,
+                     uint32_t payload_size) override;
+  Status DoSync() override;
 
  private:
-  Status CheckPage(PageId pid) const;
-  void Access(uint64_t physical, uint32_t run_len, bool is_write);
-
-  DiskModel model_;
-  std::vector<PageFile> files_;
-  IoStats stats_;
-
-  /// Physical region granularity between files. Regions never overlap as
-  /// long as no file exceeds this page count.
-  static constexpr uint64_t kFileRegionPages = uint64_t(1) << 32;
-
-  /// Physical address the head would reach next with no seek; ~0 initially
-  /// (first access always seeks).
-  uint64_t next_sequential_ = ~uint64_t(0);
+  /// Sparse payload store: only pages written through `WritePagePayload`
+  /// occupy RAM (accounting-only writes store nothing).
+  std::unordered_map<PageId, std::vector<uint8_t>, PageIdHash> payloads_;
 };
 
 }  // namespace pmjoin

@@ -1,0 +1,171 @@
+#include "io/storage_backend.h"
+
+#include <algorithm>
+
+namespace pmjoin {
+
+StorageBackend::StorageBackend(DiskModel model, uint32_t page_size_bytes)
+    : model_(model), page_size_bytes_(page_size_bytes) {}
+
+StorageBackend::~StorageBackend() = default;
+
+uint32_t StorageBackend::RegisterFile(std::string_view name,
+                                      uint32_t num_pages) {
+  PageFile f;
+  f.id = static_cast<uint32_t>(files_.size());
+  f.name = std::string(name);
+  f.num_pages = num_pages;
+  f.base_offset = uint64_t(f.id) * kFileRegionPages;
+  files_.push_back(std::move(f));
+  return files_.back().id;
+}
+
+uint32_t StorageBackend::CreateFile(std::string_view name,
+                                    uint32_t initial_pages) {
+  const uint32_t id = RegisterFile(name, initial_pages);
+  DoCreateFile(id, name, initial_pages);
+  return id;
+}
+
+uint32_t StorageBackend::RegisterRestoredFile(std::string_view name,
+                                              uint32_t num_pages) {
+  return RegisterFile(name, num_pages);
+}
+
+Result<uint32_t> StorageBackend::FindFile(std::string_view name) const {
+  for (size_t i = files_.size(); i > 0; --i) {
+    if (files_[i - 1].name == name)
+      return static_cast<uint32_t>(i - 1);
+  }
+  return Status::NotFound("FindFile: no file named '" + std::string(name) +
+                          "'");
+}
+
+Result<uint32_t> StorageBackend::AllocatePages(uint32_t file,
+                                               uint32_t pages) {
+  if (file >= files_.size())
+    return Status::InvalidArgument("AllocatePages: bad file id");
+  PageFile& f = files_[file];
+  const uint32_t first = f.num_pages;
+  if (uint64_t(f.num_pages) + pages > kFileRegionPages)
+    return Status::OutOfRange("AllocatePages: file region exhausted");
+  PMJOIN_RETURN_IF_ERROR(DoAllocatePages(file, first, pages));
+  f.num_pages += pages;
+  return first;
+}
+
+Status StorageBackend::CheckPage(PageId pid) const {
+  if (pid.file >= files_.size())
+    return Status::InvalidArgument("bad file id");
+  if (pid.page >= files_[pid.file].num_pages)
+    return Status::OutOfRange("page index out of bounds");
+  return Status::OK();
+}
+
+void StorageBackend::Access(uint64_t physical, uint32_t run_len,
+                            bool is_write) {
+  if (physical != next_sequential_) {
+    ++stats_.seeks;
+  } else if (!is_write) {
+    ++stats_.sequential_reads;
+    // Count the remaining pages of the run as sequential too.
+    stats_.sequential_reads += run_len - 1;
+  }
+  if (is_write) {
+    stats_.pages_written += run_len;
+  } else {
+    stats_.pages_read += run_len;
+    if (physical != next_sequential_ && run_len > 1) {
+      // After the seek, the tail of the run streams sequentially.
+      stats_.sequential_reads += run_len - 1;
+    }
+  }
+  next_sequential_ = physical + run_len;
+}
+
+Status StorageBackend::ReadPage(PageId pid) {
+  PMJOIN_RETURN_IF_ERROR(CheckPage(pid));
+  PMJOIN_RETURN_IF_ERROR(DoReadPages(pid, 1, /*payload_out=*/nullptr));
+  Access(files_[pid.file].PhysicalOffset(pid.page), 1, /*is_write=*/false);
+  return Status::OK();
+}
+
+Status StorageBackend::ReadPages(PageId pid, uint32_t count) {
+  if (count == 0) return Status::OK();
+  PMJOIN_RETURN_IF_ERROR(CheckPage(pid));
+  PMJOIN_RETURN_IF_ERROR(CheckPage({pid.file, pid.page + count - 1}));
+  PMJOIN_RETURN_IF_ERROR(DoReadPages(pid, count, /*payload_out=*/nullptr));
+  Access(files_[pid.file].PhysicalOffset(pid.page), count,
+         /*is_write=*/false);
+  return Status::OK();
+}
+
+Status StorageBackend::WritePage(PageId pid) {
+  PMJOIN_RETURN_IF_ERROR(CheckPage(pid));
+  PMJOIN_RETURN_IF_ERROR(DoWritePage(pid, /*payload=*/nullptr, 0));
+  Access(files_[pid.file].PhysicalOffset(pid.page), 1, /*is_write=*/true);
+  return Status::OK();
+}
+
+Status StorageBackend::WritePagePayload(PageId pid,
+                                        std::span<const uint8_t> payload) {
+  PMJOIN_RETURN_IF_ERROR(CheckPage(pid));
+  if (payload.size() > page_size_bytes_)
+    return Status::InvalidArgument("WritePagePayload: payload exceeds page");
+  PMJOIN_RETURN_IF_ERROR(DoWritePage(
+      pid, payload.data(), static_cast<uint32_t>(payload.size())));
+  Access(files_[pid.file].PhysicalOffset(pid.page), 1, /*is_write=*/true);
+  return Status::OK();
+}
+
+Status StorageBackend::ReadPagePayload(PageId pid, std::span<uint8_t> out) {
+  PMJOIN_RETURN_IF_ERROR(CheckPage(pid));
+  if (out.size() != page_size_bytes_)
+    return Status::InvalidArgument(
+        "ReadPagePayload: buffer must be exactly one page");
+  PMJOIN_RETURN_IF_ERROR(DoReadPages(pid, 1, out.data()));
+  Access(files_[pid.file].PhysicalOffset(pid.page), 1, /*is_write=*/false);
+  return Status::OK();
+}
+
+Status StorageBackend::ScanFile(uint32_t file) {
+  if (file >= files_.size())
+    return Status::InvalidArgument("ScanFile: bad file id");
+  const PageFile& f = files_[file];
+  if (f.num_pages == 0) return Status::OK();
+  return ReadPages({file, 0}, f.num_pages);
+}
+
+Status StorageBackend::Sync() { return DoSync(); }
+
+Result<uint32_t> WriteBlobFile(StorageBackend* backend, std::string_view name,
+                               std::span<const uint8_t> blob) {
+  const uint32_t page_size = backend->page_size_bytes();
+  const uint32_t pages = static_cast<uint32_t>(
+      (blob.size() + page_size - 1) / page_size);
+  const uint32_t file = backend->CreateFile(name, pages);
+  for (uint32_t p = 0; p < pages; ++p) {
+    const size_t off = size_t(p) * page_size;
+    const size_t len = std::min<size_t>(page_size, blob.size() - off);
+    PMJOIN_RETURN_IF_ERROR(
+        backend->WritePagePayload({file, p}, blob.subspan(off, len)));
+  }
+  return file;
+}
+
+Result<std::vector<uint8_t>> ReadFileBlob(StorageBackend* backend,
+                                          uint32_t file) {
+  if (file >= backend->NumFiles())
+    return Status::InvalidArgument("ReadFileBlob: bad file id");
+  const uint32_t page_size = backend->page_size_bytes();
+  const uint32_t pages = backend->num_pages(file);
+  std::vector<uint8_t> blob(size_t(pages) * page_size);
+  for (uint32_t p = 0; p < pages; ++p) {
+    PMJOIN_RETURN_IF_ERROR(backend->ReadPagePayload(
+        {file, p},
+        std::span<uint8_t>(blob.data() + size_t(p) * page_size, page_size)));
+  }
+  return blob;
+}
+
+}  // namespace pmjoin

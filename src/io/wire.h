@@ -1,0 +1,68 @@
+#ifndef PMJOIN_IO_WIRE_H_
+#define PMJOIN_IO_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace pmjoin {
+namespace wire {
+
+/// Little-endian byte serialization for the dataset metadata blobs the
+/// storage backends persist. Fixed-width integers only — the format must
+/// be identical across builds for on-disk checksums to be meaningful.
+
+inline void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
+  uint8_t b[4];
+  std::memcpy(b, &v, sizeof(b));
+  out->insert(out->end(), b, b + sizeof(b));
+}
+
+inline void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
+  uint8_t b[8];
+  std::memcpy(b, &v, sizeof(b));
+  out->insert(out->end(), b, b + sizeof(b));
+}
+
+inline void AppendBytes(std::vector<uint8_t>* out, const void* data,
+                        size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  out->insert(out->end(), p, p + len);
+}
+
+/// Bounds-checked sequential reader. Overruns latch `ok` to false and
+/// return zeros; callers check `ok` once at the end and report Corruption.
+struct Reader {
+  std::span<const uint8_t> data;
+  size_t pos = 0;
+  bool ok = true;
+
+  explicit Reader(std::span<const uint8_t> d) : data(d) {}
+
+  uint32_t U32() {
+    uint32_t v = 0;
+    Bytes(&v, sizeof(v));
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    Bytes(&v, sizeof(v));
+    return v;
+  }
+  bool Bytes(void* dst, size_t len) {
+    if (!ok || data.size() - pos < len) {
+      ok = false;
+      std::memset(dst, 0, len);
+      return false;
+    }
+    std::memcpy(dst, data.data() + pos, len);
+    pos += len;
+    return true;
+  }
+};
+
+}  // namespace wire
+}  // namespace pmjoin
+
+#endif  // PMJOIN_IO_WIRE_H_

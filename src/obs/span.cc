@@ -2,7 +2,7 @@
 
 #include <utility>
 
-#include "io/simulated_disk.h"
+#include "io/storage_backend.h"
 #include "obs/clock.h"
 
 namespace pmjoin {
@@ -22,7 +22,7 @@ Tracer& Tracer::Get() {
   return *tracer;
 }
 
-void Tracer::StartSession(SimulatedDisk* disk) {
+void Tracer::StartSession(StorageBackend* disk) {
   std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
   disk_ = disk;

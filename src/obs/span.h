@@ -13,7 +13,7 @@
 
 namespace pmjoin {
 
-class SimulatedDisk;
+class StorageBackend;
 
 namespace obs {
 
@@ -55,7 +55,7 @@ class Tracer {
 
   // `disk` may be null (timing/ops-only session). Spans must not straddle
   // session boundaries: start before the observed run, stop after it.
-  void StartSession(SimulatedDisk* disk);
+  void StartSession(StorageBackend* disk);
   void StopSession();
   bool active() const { return ObsEnabled(); }
 
@@ -79,7 +79,7 @@ class Tracer {
   void FinishSpan(TraceEvent event, bool capture_io, const IoStats& io_start);
 
   mutable std::mutex mu_;
-  SimulatedDisk* disk_ = nullptr;
+  StorageBackend* disk_ = nullptr;
   std::thread::id session_thread_;
   IoStats session_start_io_;
   IoStats session_end_io_;

@@ -2,13 +2,28 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
+#include <string>
 
+#include "io/wire.h"
 #include "seq/frequency_vector.h"
 #include "seq/paa.h"
 
 namespace pmjoin {
 
 namespace {
+
+constexpr uint64_t kStringMetaMagic = 0x31305351534A4D50ULL;  // "PMJSQS01"
+constexpr uint64_t kSeriesMetaMagic = 0x31305451534A4D50ULL;  // "PMJSQT01"
+
+/// Number of symbols page p holds: its block plus the replicated tail,
+/// clipped at the end of the sequence.
+uint64_t PageSymbolCount(const SequenceLayout& layout, uint32_t page) {
+  const uint64_t start = uint64_t(page) * layout.windows_per_page;
+  const uint64_t cap =
+      uint64_t(layout.windows_per_page) + layout.window_len - 1;
+  return std::min<uint64_t>(cap, layout.num_symbols - start);
+}
 
 /// Builds the coarse level of a page's summaries as unions of consecutive
 /// fine sub-boxes.
@@ -32,13 +47,24 @@ void BuildCoarseLevel(const SequenceLayout& layout, uint32_t page,
 }  // namespace
 
 Result<StringSequenceStore> StringSequenceStore::Build(
-    SimulatedDisk* disk, std::string_view name, std::vector<uint8_t> symbols,
+    StorageBackend* disk, std::string_view name, std::vector<uint8_t> symbols,
     uint32_t alphabet_size, uint32_t window_len, uint32_t page_size_bytes,
     uint32_t sub_box_windows) {
-  if (sub_box_windows == 0)
-    return Status::InvalidArgument("StringSequenceStore: T must be > 0");
   if (disk == nullptr)
     return Status::InvalidArgument("StringSequenceStore: null disk");
+  PMJOIN_ASSIGN_OR_RETURN(
+      StringSequenceStore store,
+      Assemble(std::move(symbols), alphabet_size, window_len, page_size_bytes,
+               sub_box_windows));
+  store.file_id_ = disk->CreateFile(name, store.layout_.NumPages());
+  return store;
+}
+
+Result<StringSequenceStore> StringSequenceStore::Assemble(
+    std::vector<uint8_t> symbols, uint32_t alphabet_size, uint32_t window_len,
+    uint32_t page_size_bytes, uint32_t sub_box_windows) {
+  if (sub_box_windows == 0)
+    return Status::InvalidArgument("StringSequenceStore: T must be > 0");
   if (window_len == 0)
     return Status::InvalidArgument("StringSequenceStore: window_len == 0");
   if (symbols.size() < window_len)
@@ -108,8 +134,85 @@ Result<StringSequenceStore> StringSequenceStore::Build(
       static_cast<uint32_t>(store.sub_mbrs_.size()));
   store.coarse_offsets_.push_back(
       static_cast<uint32_t>(store.coarse_mbrs_.size()));
+  return store;
+}
 
-  store.file_id_ = disk->CreateFile(name, num_pages);
+Status StringSequenceStore::Persist(StorageBackend* disk) const {
+  if (disk == nullptr)
+    return Status::InvalidArgument("Persist: null backend");
+  if (file_id_ >= disk->NumFiles() ||
+      disk->num_pages(file_id_) != layout_.NumPages())
+    return Status::InvalidArgument(
+        "Persist: store was not built on this backend");
+  const uint64_t cap =
+      uint64_t(layout_.windows_per_page) + layout_.window_len - 1;
+  if (cap > disk->page_size_bytes())
+    return Status::InvalidArgument(
+        "Persist: store page does not fit a backend page");
+  for (uint32_t p = 0; p < layout_.NumPages(); ++p) {
+    const uint64_t start = uint64_t(p) * layout_.windows_per_page;
+    const uint64_t len = PageSymbolCount(layout_, p);
+    PMJOIN_RETURN_IF_ERROR(disk->WritePagePayload(
+        {file_id_, p},
+        std::span<const uint8_t>(symbols_.data() + start, len)));
+  }
+  std::vector<uint8_t> meta;
+  wire::AppendU64(&meta, kStringMetaMagic);
+  wire::AppendU32(&meta, alphabet_size_);
+  wire::AppendU32(&meta, layout_.window_len);
+  wire::AppendU32(&meta, static_cast<uint32_t>(cap));
+  wire::AppendU32(&meta, layout_.windows_per_sub_box);
+  wire::AppendU64(&meta, layout_.num_symbols);
+  const std::string& name = disk->file(file_id_).name;
+  PMJOIN_ASSIGN_OR_RETURN(uint32_t meta_file,
+                          WriteBlobFile(disk, name + ".meta", meta));
+  (void)meta_file;
+  return disk->Sync();
+}
+
+Result<StringSequenceStore> StringSequenceStore::Open(StorageBackend* disk,
+                                                      std::string_view name) {
+  if (disk == nullptr) return Status::InvalidArgument("Open: null backend");
+  PMJOIN_ASSIGN_OR_RETURN(uint32_t meta_file,
+                          disk->FindFile(std::string(name) + ".meta"));
+  PMJOIN_ASSIGN_OR_RETURN(std::vector<uint8_t> blob,
+                          ReadFileBlob(disk, meta_file));
+  wire::Reader r{std::span<const uint8_t>(blob)};
+  if (r.U64() != kStringMetaMagic)
+    return Status::Corruption("StringSequenceStore: bad metadata magic");
+  const uint32_t alphabet_size = r.U32();
+  const uint32_t window_len = r.U32();
+  const uint32_t page_size_bytes = r.U32();
+  const uint32_t sub_box_windows = r.U32();
+  const uint64_t num_symbols = r.U64();
+  if (!r.ok || window_len == 0 || page_size_bytes <= window_len - 1 ||
+      num_symbols < window_len)
+    return Status::Corruption("StringSequenceStore: bad metadata header");
+
+  SequenceLayout layout;
+  layout.num_symbols = num_symbols;
+  layout.window_len = window_len;
+  layout.windows_per_page = page_size_bytes - (window_len - 1);
+  PMJOIN_ASSIGN_OR_RETURN(uint32_t data_file, disk->FindFile(name));
+  if (disk->num_pages(data_file) < layout.NumPages())
+    return Status::Corruption("StringSequenceStore: data file too short");
+  if (page_size_bytes > disk->page_size_bytes())
+    return Status::Corruption(
+        "StringSequenceStore: store page exceeds backend page");
+
+  std::vector<uint8_t> symbols(num_symbols);
+  std::vector<uint8_t> payload(disk->page_size_bytes());
+  for (uint32_t p = 0; p < layout.NumPages(); ++p) {
+    PMJOIN_RETURN_IF_ERROR(disk->ReadPagePayload({data_file, p}, payload));
+    const uint64_t start = uint64_t(p) * layout.windows_per_page;
+    std::memcpy(symbols.data() + start, payload.data(),
+                PageSymbolCount(layout, p));
+  }
+  PMJOIN_ASSIGN_OR_RETURN(
+      StringSequenceStore store,
+      Assemble(std::move(symbols), alphabet_size, window_len, page_size_bytes,
+               sub_box_windows));
+  store.file_id_ = data_file;
   return store;
 }
 
@@ -123,17 +226,30 @@ double StringSequenceStore::PageLowerBound(uint32_t p,
   return min_l1 / 2.0;
 }
 
-Result<TimeSeriesStore> TimeSeriesStore::Build(SimulatedDisk* disk,
+Result<TimeSeriesStore> TimeSeriesStore::Build(StorageBackend* disk,
                                                std::string_view name,
                                                std::vector<float> values,
                                                uint32_t window_len,
                                                uint32_t paa_dims,
                                                uint32_t page_size_bytes,
                                                uint32_t sub_box_windows) {
-  if (sub_box_windows == 0)
-    return Status::InvalidArgument("TimeSeriesStore: T must be > 0");
   if (disk == nullptr)
     return Status::InvalidArgument("TimeSeriesStore: null disk");
+  PMJOIN_ASSIGN_OR_RETURN(
+      TimeSeriesStore store,
+      Assemble(std::move(values), window_len, paa_dims, page_size_bytes,
+               sub_box_windows));
+  store.file_id_ = disk->CreateFile(name, store.layout_.NumPages());
+  return store;
+}
+
+Result<TimeSeriesStore> TimeSeriesStore::Assemble(std::vector<float> values,
+                                                  uint32_t window_len,
+                                                  uint32_t paa_dims,
+                                                  uint32_t page_size_bytes,
+                                                  uint32_t sub_box_windows) {
+  if (sub_box_windows == 0)
+    return Status::InvalidArgument("TimeSeriesStore: T must be > 0");
   if (window_len == 0)
     return Status::InvalidArgument("TimeSeriesStore: window_len == 0");
   if (values.size() < window_len)
@@ -198,8 +314,88 @@ Result<TimeSeriesStore> TimeSeriesStore::Build(SimulatedDisk* disk,
       static_cast<uint32_t>(store.sub_mbrs_.size()));
   store.coarse_offsets_.push_back(
       static_cast<uint32_t>(store.coarse_mbrs_.size()));
+  return store;
+}
 
-  store.file_id_ = disk->CreateFile(name, num_pages);
+Status TimeSeriesStore::Persist(StorageBackend* disk) const {
+  if (disk == nullptr)
+    return Status::InvalidArgument("Persist: null backend");
+  if (file_id_ >= disk->NumFiles() ||
+      disk->num_pages(file_id_) != layout_.NumPages())
+    return Status::InvalidArgument(
+        "Persist: store was not built on this backend");
+  const uint64_t cap =
+      uint64_t(layout_.windows_per_page) + layout_.window_len - 1;
+  if (cap * sizeof(float) > disk->page_size_bytes())
+    return Status::InvalidArgument(
+        "Persist: store page does not fit a backend page");
+  for (uint32_t p = 0; p < layout_.NumPages(); ++p) {
+    const uint64_t start = uint64_t(p) * layout_.windows_per_page;
+    const uint64_t len = PageSymbolCount(layout_, p);
+    PMJOIN_RETURN_IF_ERROR(disk->WritePagePayload(
+        {file_id_, p},
+        std::span<const uint8_t>(
+            reinterpret_cast<const uint8_t*>(values_.data() + start),
+            len * sizeof(float))));
+  }
+  std::vector<uint8_t> meta;
+  wire::AppendU64(&meta, kSeriesMetaMagic);
+  wire::AppendU32(&meta, paa_dims_);
+  wire::AppendU32(&meta, layout_.window_len);
+  wire::AppendU32(&meta, static_cast<uint32_t>(cap * sizeof(float)));
+  wire::AppendU32(&meta, layout_.windows_per_sub_box);
+  wire::AppendU64(&meta, layout_.num_symbols);
+  const std::string& name = disk->file(file_id_).name;
+  PMJOIN_ASSIGN_OR_RETURN(uint32_t meta_file,
+                          WriteBlobFile(disk, name + ".meta", meta));
+  (void)meta_file;
+  return disk->Sync();
+}
+
+Result<TimeSeriesStore> TimeSeriesStore::Open(StorageBackend* disk,
+                                              std::string_view name) {
+  if (disk == nullptr) return Status::InvalidArgument("Open: null backend");
+  PMJOIN_ASSIGN_OR_RETURN(uint32_t meta_file,
+                          disk->FindFile(std::string(name) + ".meta"));
+  PMJOIN_ASSIGN_OR_RETURN(std::vector<uint8_t> blob,
+                          ReadFileBlob(disk, meta_file));
+  wire::Reader r{std::span<const uint8_t>(blob)};
+  if (r.U64() != kSeriesMetaMagic)
+    return Status::Corruption("TimeSeriesStore: bad metadata magic");
+  const uint32_t paa_dims = r.U32();
+  const uint32_t window_len = r.U32();
+  const uint32_t page_size_bytes = r.U32();
+  const uint32_t sub_box_windows = r.U32();
+  const uint64_t num_symbols = r.U64();
+  const uint32_t capacity = page_size_bytes / sizeof(float);
+  if (!r.ok || window_len == 0 || capacity <= window_len - 1 ||
+      num_symbols < window_len)
+    return Status::Corruption("TimeSeriesStore: bad metadata header");
+
+  SequenceLayout layout;
+  layout.num_symbols = num_symbols;
+  layout.window_len = window_len;
+  layout.windows_per_page = capacity - (window_len - 1);
+  PMJOIN_ASSIGN_OR_RETURN(uint32_t data_file, disk->FindFile(name));
+  if (disk->num_pages(data_file) < layout.NumPages())
+    return Status::Corruption("TimeSeriesStore: data file too short");
+  if (page_size_bytes > disk->page_size_bytes())
+    return Status::Corruption(
+        "TimeSeriesStore: store page exceeds backend page");
+
+  std::vector<float> values(num_symbols);
+  std::vector<uint8_t> payload(disk->page_size_bytes());
+  for (uint32_t p = 0; p < layout.NumPages(); ++p) {
+    PMJOIN_RETURN_IF_ERROR(disk->ReadPagePayload({data_file, p}, payload));
+    const uint64_t start = uint64_t(p) * layout.windows_per_page;
+    std::memcpy(values.data() + start, payload.data(),
+                PageSymbolCount(layout, p) * sizeof(float));
+  }
+  PMJOIN_ASSIGN_OR_RETURN(
+      TimeSeriesStore store,
+      Assemble(std::move(values), window_len, paa_dims, page_size_bytes,
+               sub_box_windows));
+  store.file_id_ = data_file;
   return store;
 }
 

@@ -9,7 +9,7 @@
 
 #include "common/result.h"
 #include "geom/mbr.h"
-#include "io/simulated_disk.h"
+#include "io/storage_backend.h"
 
 namespace pmjoin {
 
@@ -120,13 +120,25 @@ class StringSequenceStore {
   /// than L.
   /// `sub_box_windows` sets the fine summary granularity T (the coarse
   /// level is fixed at 4·T); the default matches the benches.
-  static Result<StringSequenceStore> Build(SimulatedDisk* disk,
+  static Result<StringSequenceStore> Build(StorageBackend* disk,
                                            std::string_view name,
                                            std::vector<uint8_t> symbols,
                                            uint32_t alphabet_size,
                                            uint32_t window_len,
                                            uint32_t page_size_bytes,
                                            uint32_t sub_box_windows = 64);
+
+  /// Writes each page's symbol slice (block plus replicated tail) to the
+  /// store's backend file and a `<name>.meta` sidecar holding the build
+  /// parameters. Build charges no payload writes; persisting is a
+  /// separate, explicitly-charged step.
+  Status Persist(StorageBackend* disk) const;
+
+  /// Restores a store persisted as `name`: re-stitches the symbol array
+  /// from the page slices and reruns the deterministic summary build, so
+  /// the result is bit-identical to the original.
+  static Result<StringSequenceStore> Open(StorageBackend* disk,
+                                          std::string_view name);
 
   const SequenceLayout& layout() const { return layout_; }
   uint32_t file_id() const { return file_id_; }
@@ -160,6 +172,13 @@ class StringSequenceStore {
  private:
   StringSequenceStore() = default;
 
+  /// Everything Build does except registering the backend file.
+  static Result<StringSequenceStore> Assemble(std::vector<uint8_t> symbols,
+                                              uint32_t alphabet_size,
+                                              uint32_t window_len,
+                                              uint32_t page_size_bytes,
+                                              uint32_t sub_box_windows);
+
   SequenceLayout layout_;
   uint32_t file_id_ = 0;
   uint32_t alphabet_size_ = 0;
@@ -182,12 +201,19 @@ class TimeSeriesStore {
   /// capacity; the net block is C = capacity − (L − 1).
   /// `sub_box_windows` sets the fine summary granularity T (the coarse
   /// level is fixed at 4·T).
-  static Result<TimeSeriesStore> Build(SimulatedDisk* disk,
+  static Result<TimeSeriesStore> Build(StorageBackend* disk,
                                        std::string_view name,
                                        std::vector<float> values,
                                        uint32_t window_len, uint32_t paa_dims,
                                        uint32_t page_size_bytes,
                                        uint32_t sub_box_windows = 64);
+
+  /// See StringSequenceStore::Persist — identical contract, float pages.
+  Status Persist(StorageBackend* disk) const;
+
+  /// See StringSequenceStore::Open — identical contract.
+  static Result<TimeSeriesStore> Open(StorageBackend* disk,
+                                      std::string_view name);
 
   const SequenceLayout& layout() const { return layout_; }
   uint32_t file_id() const { return file_id_; }
@@ -216,6 +242,13 @@ class TimeSeriesStore {
 
  private:
   TimeSeriesStore() = default;
+
+  /// Everything Build does except registering the backend file.
+  static Result<TimeSeriesStore> Assemble(std::vector<float> values,
+                                          uint32_t window_len,
+                                          uint32_t paa_dims,
+                                          uint32_t page_size_bytes,
+                                          uint32_t sub_box_windows);
 
   SequenceLayout layout_;
   uint32_t file_id_ = 0;

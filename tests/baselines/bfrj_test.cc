@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "io/simulated_disk.h"
 #include "join_test_util.h"
 
 namespace pmjoin {

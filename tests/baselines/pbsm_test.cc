@@ -4,6 +4,7 @@
 
 #include "core/reference_join.h"
 #include "data/generators.h"
+#include "io/simulated_disk.h"
 #include "join_test_util.h"
 
 namespace pmjoin {

@@ -6,6 +6,7 @@
 
 #include "core/plane_sweep.h"
 #include "data/generators.h"
+#include "io/simulated_disk.h"
 
 namespace pmjoin {
 namespace bench {

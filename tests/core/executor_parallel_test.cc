@@ -12,6 +12,7 @@
 #include "core/executor.h"
 #include "core/scheduler.h"
 #include "core/square_clustering.h"
+#include "io/simulated_disk.h"
 #include "join_test_util.h"
 
 namespace pmjoin {

@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "core/scheduler.h"
 #include "core/square_clustering.h"
+#include "io/simulated_disk.h"
 #include "join_test_util.h"
 
 namespace pmjoin {

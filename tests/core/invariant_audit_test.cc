@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "core/square_clustering.h"
 #include "io/buffer_pool.h"
+#include "io/simulated_disk.h"
 #include "join_test_util.h"
 
 namespace pmjoin {

@@ -5,6 +5,7 @@
 #include "common/rng.h"
 #include "data/generators.h"
 #include "data/vector_dataset.h"
+#include "io/simulated_disk.h"
 #include "seq/sequence_store.h"
 
 namespace pmjoin {

@@ -4,6 +4,7 @@
 
 #include "baselines/block_nlj.h"
 #include "io/buffer_pool.h"
+#include "io/simulated_disk.h"
 #include "join_test_util.h"
 
 namespace pmjoin {

@@ -1,6 +1,7 @@
 #include "data/generators.h"
 
 #include "common/rng.h"
+#include "io/simulated_disk.h"
 #include "seq/edit_distance.h"
 #include "seq/sequence_store.h"
 

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "data/generators.h"
+#include "io/simulated_disk.h"
 
 namespace pmjoin {
 namespace {

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "io/simulated_disk.h"
 #include "test_util.h"
 
 namespace pmjoin {

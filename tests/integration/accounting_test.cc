@@ -2,6 +2,7 @@
 
 #include "core/join_driver.h"
 #include "data/generators.h"
+#include "io/simulated_disk.h"
 
 namespace pmjoin {
 namespace {

@@ -6,6 +6,7 @@
 #include "core/join_driver.h"
 #include "core/reference_join.h"
 #include "data/generators.h"
+#include "io/simulated_disk.h"
 
 namespace pmjoin {
 namespace {

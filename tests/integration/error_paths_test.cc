@@ -39,10 +39,10 @@ TEST(DiskErrorPathTest, ReadPastEndOfFileIsOutOfRange) {
   EXPECT_EQ(disk.stats().pages_read, 1u);
 }
 
-TEST(DiskErrorPathTest, ReadRunCheckedBeforeAnyCharge) {
+TEST(DiskErrorPathTest, ReadPagesCheckedBeforeAnyCharge) {
   SimulatedDisk disk;
   const uint32_t file = disk.CreateFile("data", 4);
-  const Status st = disk.ReadRun({file, 2}, 5);  // Tail out of bounds.
+  const Status st = disk.ReadPages({file, 2}, 5);  // Tail out of bounds.
   ASSERT_FALSE(st.ok());
   EXPECT_TRUE(st.IsOutOfRange());
   EXPECT_EQ(disk.stats().pages_read, 0u);

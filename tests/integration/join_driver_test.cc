@@ -1,5 +1,6 @@
 #include "core/join_driver.h"
 
+#include <memory>
 #include <optional>
 
 #include <gtest/gtest.h>
@@ -8,6 +9,8 @@
 #include "core/reference_join.h"
 #include "data/generators.h"
 #include "data/sequence_dataset.h"
+#include "io/simulated_disk.h"
+#include "test_util.h"
 
 namespace pmjoin {
 namespace {
@@ -43,7 +46,9 @@ class VectorDriverTest : public ::testing::TestWithParam<Algorithm> {
     s_.emplace(VectorDataset::Build(&disk_, "s", s_raw_, ds_options).value());
   }
 
-  SimulatedDisk disk_;
+  std::unique_ptr<StorageBackend> disk_holder_ =
+      testing_util::MakeTestBackend();
+  StorageBackend& disk_ = *disk_holder_;
   VectorData r_raw_, s_raw_;
   std::optional<VectorDataset> r_, s_;
 };
@@ -102,7 +107,9 @@ class TimeSeriesDriverTest : public ::testing::TestWithParam<Algorithm> {
                     .value());
   }
 
-  SimulatedDisk disk_;
+  std::unique_ptr<StorageBackend> disk_holder_ =
+      testing_util::MakeTestBackend();
+  StorageBackend& disk_ = *disk_holder_;
   std::vector<float> x_, y_;
   std::optional<TimeSeriesStore> xs_, ys_;
 };
@@ -162,7 +169,9 @@ class StringDriverTest : public ::testing::TestWithParam<Algorithm> {
         StringSequenceStore::Build(&disk_, "b", b_, 4, 12, 64).value());
   }
 
-  SimulatedDisk disk_;
+  std::unique_ptr<StorageBackend> disk_holder_ =
+      testing_util::MakeTestBackend();
+  StorageBackend& disk_ = *disk_holder_;
   std::vector<uint8_t> a_, b_;
   std::optional<StringSequenceStore> as_, bs_;
 };

@@ -14,6 +14,7 @@
 #include "core/join_driver.h"
 #include "data/generators.h"
 #include "io/io_stats.h"
+#include "io/simulated_disk.h"
 #include "obs/run_report.h"
 #include "obs/span.h"
 

@@ -1,4 +1,5 @@
 #include "io/buffer_pool.h"
+#include "io/simulated_disk.h"
 
 #include <gtest/gtest.h>
 

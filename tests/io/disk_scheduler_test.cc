@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "io/simulated_disk.h"
 
 namespace pmjoin {
 namespace {

@@ -1,4 +1,5 @@
 #include "io/external_sort.h"
+#include "io/simulated_disk.h"
 
 #include <cmath>
 

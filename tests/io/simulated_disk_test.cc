@@ -58,10 +58,10 @@ TEST(SimulatedDiskTest, CrossFileReadSeeks) {
   EXPECT_EQ(disk.stats().seeks, 2u);
 }
 
-TEST(SimulatedDiskTest, ReadRunChargesOneSeek) {
+TEST(SimulatedDiskTest, ReadPagesChargesOneSeek) {
   SimulatedDisk disk;
   const uint32_t f = disk.CreateFile("f", 100);
-  ASSERT_TRUE(disk.ReadRun({f, 10}, 50).ok());
+  ASSERT_TRUE(disk.ReadPages({f, 10}, 50).ok());
   EXPECT_EQ(disk.stats().seeks, 1u);
   EXPECT_EQ(disk.stats().pages_read, 50u);
 }
@@ -69,7 +69,7 @@ TEST(SimulatedDiskTest, ReadRunChargesOneSeek) {
 TEST(SimulatedDiskTest, RunThenAdjacentPageIsSequential) {
   SimulatedDisk disk;
   const uint32_t f = disk.CreateFile("f", 100);
-  ASSERT_TRUE(disk.ReadRun({f, 0}, 10).ok());
+  ASSERT_TRUE(disk.ReadPages({f, 0}, 10).ok());
   ASSERT_TRUE(disk.ReadPage({f, 10}).ok());
   EXPECT_EQ(disk.stats().seeks, 1u);
 }
@@ -94,7 +94,7 @@ TEST(SimulatedDiskTest, ScanFileIsOneSeek) {
 TEST(SimulatedDiskTest, AppendGrowsFile) {
   SimulatedDisk disk;
   const uint32_t f = disk.CreateFile("f", 2);
-  Result<uint32_t> first = disk.Append(f, 3);
+  Result<uint32_t> first = disk.AllocatePages(f, 3);
   ASSERT_TRUE(first.ok());
   EXPECT_EQ(first.value(), 2u);
   EXPECT_EQ(disk.file(f).num_pages, 5u);
@@ -114,7 +114,7 @@ TEST(SimulatedDiskTest, ModeledSecondsUsesModel) {
   model.transfer_sec = 0.001;
   SimulatedDisk disk(model);
   const uint32_t f = disk.CreateFile("f", 10);
-  ASSERT_TRUE(disk.ReadRun({f, 0}, 10).ok());
+  ASSERT_TRUE(disk.ReadPages({f, 0}, 10).ok());
   // 1 seek + 10 transfers = 10ms + 10ms.
   EXPECT_NEAR(disk.ModeledSeconds(), 0.020, 1e-12);
 }
@@ -133,7 +133,7 @@ TEST(SimulatedDiskTest, DeltaAccounting) {
   const uint32_t f = disk.CreateFile("f", 10);
   ASSERT_TRUE(disk.ReadPage({f, 0}).ok());
   const IoStats snapshot = disk.stats();
-  ASSERT_TRUE(disk.ReadRun({f, 5}, 3).ok());
+  ASSERT_TRUE(disk.ReadPages({f, 5}, 3).ok());
   const IoStats delta = disk.stats().Delta(snapshot);
   EXPECT_EQ(delta.pages_read, 3u);
   EXPECT_EQ(delta.seeks, 1u);

@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "geom/distance.h"
+#include "io/simulated_disk.h"
 #include "seq/edit_distance.h"
 #include "seq/frequency_vector.h"
 #include "seq/paa.h"

@@ -1,16 +1,58 @@
 #ifndef PMJOIN_TESTS_TEST_UTIL_H_
 #define PMJOIN_TESTS_TEST_UTIL_H_
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <system_error>
 #include <utility>
 #include <vector>
 
+#include <gtest/gtest.h>
+
+#include "common/check.h"
 #include "common/pair_sink.h"
 #include "common/rng.h"
 #include "geom/mbr.h"
+#include "io/file_backend.h"
+#include "io/simulated_disk.h"
+#include "io/storage_backend.h"
 
 namespace pmjoin {
 namespace testing_util {
+
+/// Storage backend factory honoring the PMJOIN_TEST_BACKEND environment
+/// variable: unset or "sim" builds a SimulatedDisk; "file" builds a
+/// FileBackend over a fresh scratch directory under the gtest temp dir.
+/// CI's file-backend job exports PMJOIN_TEST_BACKEND=file so the whole
+/// suite re-runs its modeled-I/O assertions against real files — the
+/// counters must not change, which is exactly the backend-determinism
+/// invariant.
+inline std::unique_ptr<StorageBackend> MakeTestBackend(
+    DiskModel model = DiskModel(),
+    uint32_t page_size_bytes = kDefaultPageSizeBytes) {
+  const char* kind = std::getenv("PMJOIN_TEST_BACKEND");
+  if (kind == nullptr || std::string_view(kind) != "file")
+    return std::make_unique<SimulatedDisk>(model, page_size_bytes);
+  static std::atomic<uint64_t> counter{0};
+  const std::string dir = ::testing::TempDir() + "pmjoin-backend-" +
+                          std::to_string(::getpid()) + "-" +
+                          std::to_string(counter.fetch_add(1));
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  FileBackend::Options options;
+  options.model = model;
+  options.page_size_bytes = page_size_bytes;
+  auto opened = FileBackend::Open(dir, options);
+  PMJOIN_CHECK(opened.ok());
+  return std::move(opened).value();
+}
 
 /// A random box in [0,1]^dims with side lengths up to `max_side`.
 inline Mbr RandomBox(Rng* rng, size_t dims, double max_side = 0.2) {

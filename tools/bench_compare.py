@@ -22,6 +22,7 @@ Exits non-zero iff any label regressed by more than the threshold.
 
 import argparse
 import json
+import os
 import sys
 
 METRIC = "terms_s_tiled"
@@ -75,6 +76,17 @@ def main():
                         help="fail if baseline/current exceeds this "
                         "(default: 2.0)")
     args = parser.parse_args()
+
+    # A missing input is an operator error (stale path, baseline never
+    # committed, bench run skipped) — explain it instead of tracebacking.
+    for role, path in (("baseline", args.baseline), ("current", args.current)):
+        if not os.path.exists(path):
+            print(f"error: {role} file '{path}' does not exist"
+                  + ("; regenerate it with `bench_kernels --json` and "
+                     "commit it" if role == "baseline" else
+                     "; run `bench_kernels --json` first"),
+                  file=sys.stderr)
+            return 2
 
     base = load_rows(args.baseline)
     curr = load_rows(args.current)

@@ -18,12 +18,18 @@ Rules (see DESIGN.md "Invariants & checking"):
                     to touch a clock primitive.
   io-accounting     IoStats is the single source of truth for every I/O
                     figure. Counter mutation (mutable_stats) is restricted
-                    to the accounting owners (SimulatedDisk, BufferPool),
-                    and direct disk access (ReadPage/ReadRun/WritePage/
+                    to the accounting owners (StorageBackend, BufferPool),
+                    and direct disk access (ReadPage/ReadPages/WritePage/
                     ScanFile) is restricted to src/io/ and the sequential
                     baseline phases in src/baselines/ — core operators must
                     go through the BufferPool so buffer accounting stays
                     truthful.
+  file-io           Raw file I/O primitives (open/fopen/pread/pwrite/...)
+                    in src/ are restricted to the FileBackend
+                    implementation plus the obs artifact writers
+                    (run_report, trace_exporter) — everything else must do
+                    its I/O through a StorageBackend so every byte is both
+                    modeled and measured.
   kernel-dispatch   Instruction-set selection is an implementation detail
                     of the batch distance kernels: src/ code must reach
                     them through geom/distance_kernels.h, so __AVX2__,
@@ -52,11 +58,17 @@ DETERMINISM_ALLOWED = ("src/common/rng.h", "src/common/rng.cc")
 WALL_CLOCK_DIRS = ("src", "bench", "examples")
 WALL_CLOCK_ALLOWED = ("src/obs/clock.h", "src/obs/clock.cc")
 MUTABLE_STATS_ALLOWED = (
-    "src/io/simulated_disk.h",
-    "src/io/simulated_disk.cc",
+    "src/io/storage_backend.h",
+    "src/io/storage_backend.cc",
     "src/io/buffer_pool.cc",
 )
 DIRECT_DISK_ALLOWED_PREFIXES = ("src/io/", "src/baselines/")
+FILE_IO_DIR = "src"
+FILE_IO_ALLOWED = (
+    "src/io/file_backend.cc",
+    "src/obs/run_report.cc",
+    "src/obs/trace_exporter.cc",
+)
 KERNEL_DISPATCH_ALLOWED = (
     "src/geom/distance_kernels.h",
     "src/geom/distance_kernels.cc",
@@ -71,7 +83,11 @@ WALL_CLOCK_RE = re.compile(
     r"|clock_gettime\s*\(|gettimeofday\s*\(|time\s*\(\s*(NULL|nullptr|0)\s*\))"
 )
 MUTABLE_STATS_RE = re.compile(r"\bmutable_stats\s*\(")
-DIRECT_DISK_RE = re.compile(r"(->|\.)\s*(ReadPage|ReadRun|WritePage|ScanFile)\s*\(")
+DIRECT_DISK_RE = re.compile(
+    r"(->|\.)\s*(ReadPage|ReadPages|WritePage|ScanFile)\s*\(")
+FILE_IO_RE = re.compile(
+    r"\b(open|openat|creat|fopen|fdopen|freopen|pread|pwrite|preadv"
+    r"|pwritev)\s*\(")
 KERNEL_DISPATCH_RE = re.compile(
     r"(__AVX2__|immintrin\.h|\b_mm\d*_\w+|\b(?:FloatStat)?Avx2\w*)")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
@@ -225,7 +241,7 @@ def lint_file(root, rel_path):
                 findings.append(Finding(
                     rel_path, lineno, "io-accounting",
                     "mutable_stats() outside the accounting owners "
-                    "(SimulatedDisk / BufferPool); counters must only be "
+                    "(StorageBackend / BufferPool); counters must only be "
                     "mutated where the I/O is performed"))
             m = DIRECT_DISK_RE.search(line)
             if m and not rel_path.startswith(DIRECT_DISK_ALLOWED_PREFIXES):
@@ -234,6 +250,13 @@ def lint_file(root, rel_path):
                     f"direct disk access '{m.group(2)}' outside src/io/ and "
                     "src/baselines/; operators must read through the "
                     "BufferPool so residency accounting stays truthful"))
+            m = FILE_IO_RE.search(line)
+            if m and rel_path not in FILE_IO_ALLOWED:
+                findings.append(Finding(
+                    rel_path, lineno, "file-io",
+                    f"raw file I/O '{m.group(1)}' outside the FileBackend "
+                    "TU and the obs artifact writers; go through a "
+                    "StorageBackend so the byte is modeled and measured"))
 
     # include hygiene -------------------------------------------------------
     # Directives are detected on the comment-stripped text (so commented-out

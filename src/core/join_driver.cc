@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <numeric>
+#include <optional>
 #include <vector>
 
 #include "baselines/bfrj.h"
@@ -69,13 +70,22 @@ const RStarTree* JoinDriver::SequencePageTree(
 namespace {
 
 /// Runs one matrix-based algorithm (NLJ uses the matrix as a result-free
-/// oracle only; see BlockNlj).
+/// oracle only; see BlockNlj). `external_pool`, when non-null, replaces
+/// the private per-run pool so callers (the join server) can carry page
+/// residency across runs; it must have capacity >= options.buffer_pages.
 Status RunMatrixAlgorithm(const JoinInput& input,
                           const PredictionMatrix& matrix,
                           const JoinOptions& options, const DiskModel& model,
                           StorageBackend* disk, PairSink* sink,
-                          OpCounters* ops, uint64_t* num_clusters) {
-  BufferPool pool(disk, options.buffer_pages);
+                          OpCounters* ops, uint64_t* num_clusters,
+                          BufferPool* external_pool) {
+  std::unique_ptr<BufferPool> owned;
+  BufferPool* pool_ptr = external_pool;
+  if (pool_ptr == nullptr) {
+    owned = std::make_unique<BufferPool>(disk, options.buffer_pages);
+    pool_ptr = owned.get();
+  }
+  BufferPool& pool = *pool_ptr;
   switch (options.algorithm) {
     case Algorithm::kNlj: {
       PMJOIN_SPAN_OPS("block_nlj", ops);
@@ -139,8 +149,29 @@ Result<JoinReport> JoinDriver::RunVector(const VectorDataset& r,
                                          const VectorDataset& s, double eps,
                                          const JoinOptions& options,
                                          PairSink* sink) {
+  return RunVector(r, s, eps, options, sink, JoinResources());
+}
+
+Result<JoinReport> JoinDriver::RunVector(const VectorDataset& r,
+                                         const VectorDataset& s, double eps,
+                                         const JoinOptions& options,
+                                         PairSink* sink,
+                                         const JoinResources& resources) {
   if (r.dims() != s.dims())
     return Status::InvalidArgument("RunVector: dimension mismatch");
+  const bool matrix_algorithm = options.algorithm == Algorithm::kNlj ||
+                                options.algorithm == Algorithm::kPmNlj ||
+                                options.algorithm == Algorithm::kRandomSc ||
+                                options.algorithm == Algorithm::kSc ||
+                                options.algorithm == Algorithm::kCc;
+  if (!matrix_algorithm &&
+      (resources.matrix != nullptr || resources.shared_pool != nullptr))
+    return Status::InvalidArgument(
+        "RunVector: cached resources supplied for a non-matrix algorithm");
+  if (resources.shared_pool != nullptr &&
+      resources.shared_pool->capacity() < options.buffer_pages)
+    return Status::InvalidArgument(
+        "RunVector: shared pool smaller than options.buffer_pages");
   const bool self = &r == &s;
   VectorPairJoiner joiner(&r, &s, eps, options.norm, self);
   JoinInput input;
@@ -180,22 +211,35 @@ Result<JoinReport> JoinDriver::RunVector(const VectorDataset& r,
     // Oracle for NLJ is built uncharged; pm algorithms charge the build.
     OpCounters* build_ops =
         options.algorithm == Algorithm::kNlj ? nullptr : &ops;
-    PredictionMatrix matrix =
-        options.hierarchical_matrix
-            ? BuildPredictionMatrixHierarchical(
-                  r.tree(), s.tree(), r.num_pages(), s.num_pages(), eps,
-                  options.norm, options.filter_iterations, build_ops)
-            : BuildPredictionMatrixFlat(r.page_mbrs(), s.page_mbrs(), eps,
-                                        options.norm, build_ops);
-    report.marked_entries = matrix.MarkedCount();
-    report.matrix_rows = matrix.rows();
-    report.matrix_cols = matrix.cols();
-    report.matrix_selectivity = matrix.Selectivity();
-    // Phase boundary (paranoid builds): the freshly built matrix must be
-    // finalized and structurally sound before any operator consumes it.
-    PMJOIN_DCHECK_OK(matrix.ValidateInvariants());
-    st = RunMatrixAlgorithm(input, matrix, options, disk_->model(), disk_,
-                            sink, &ops, &report.num_clusters);
+    std::optional<PredictionMatrix> built;
+    const PredictionMatrix* matrix = resources.matrix;
+    if (matrix == nullptr) {
+      built = options.hierarchical_matrix
+                  ? BuildPredictionMatrixHierarchical(
+                        r.tree(), s.tree(), r.num_pages(), s.num_pages(),
+                        eps, options.norm, options.filter_iterations,
+                        build_ops)
+                  : BuildPredictionMatrixFlat(r.page_mbrs(), s.page_mbrs(),
+                                              eps, options.norm, build_ops);
+      matrix = &*built;
+    } else if (build_ops != nullptr &&
+               resources.matrix_build_ops != nullptr) {
+      // Replay the memoized build's counters so a cache hit reports the
+      // identical modeled CPU cost as a cold run (kNlj replays nothing:
+      // its oracle build is uncharged either way).
+      *build_ops += *resources.matrix_build_ops;
+    }
+    report.marked_entries = matrix->MarkedCount();
+    report.matrix_rows = matrix->rows();
+    report.matrix_cols = matrix->cols();
+    report.matrix_selectivity = matrix->Selectivity();
+    // Phase boundary (paranoid builds): whether freshly built or memoized,
+    // the matrix must be finalized and structurally sound before any
+    // operator consumes it.
+    PMJOIN_DCHECK_OK(matrix->ValidateInvariants());
+    st = RunMatrixAlgorithm(input, *matrix, options, disk_->model(), disk_,
+                            sink, &ops, &report.num_clusters,
+                            resources.shared_pool);
   }
   if (!st.ok()) return st;
 
@@ -270,7 +314,7 @@ Result<JoinReport> JoinDriver::RunTimeSeries(const TimeSeriesStore& r,
     // finalized and structurally sound before any operator consumes it.
     PMJOIN_DCHECK_OK(matrix.ValidateInvariants());
     st = RunMatrixAlgorithm(input, matrix, options, disk_->model(), disk_,
-                            sink, &ops, &report.num_clusters);
+                            sink, &ops, &report.num_clusters, nullptr);
   }
   if (!st.ok()) return st;
 
@@ -345,7 +389,7 @@ Result<JoinReport> JoinDriver::RunString(const StringSequenceStore& r,
     // finalized and structurally sound before any operator consumes it.
     PMJOIN_DCHECK_OK(matrix.ValidateInvariants());
     st = RunMatrixAlgorithm(input, matrix, options, disk_->model(), disk_,
-                            sink, &ops, &report.num_clusters);
+                            sink, &ops, &report.num_clusters, nullptr);
   }
   if (!st.ok()) return st;
 

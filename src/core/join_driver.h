@@ -75,6 +75,42 @@ struct JoinOptions {
   uint32_t num_threads = 1;
 };
 
+class BufferPool;
+
+/// Externally owned artifacts a caller (the join server,
+/// `src/server/server.h`) supplies so repeated queries reuse work across
+/// runs. All pointers are borrowed and must outlive the call; every null
+/// field falls back to the standalone behaviour (private pool, fresh
+/// matrix build).
+///
+/// Reuse never changes a query's results: pairs and OpCounters depend
+/// only on the datasets, the options, and the matrix content — residency
+/// carried over in `shared_pool` merely turns modeled page reads into
+/// buffer hits, and a memoized `matrix` is bit-identical to a fresh build
+/// by construction (same deterministic code, same inputs).
+struct JoinResources {
+  /// Buffer pool shared across queries, replacing the driver's private
+  /// per-run pool. Capacity must be >= the query's
+  /// `options.buffer_pages` (the clustering algorithms size clusters to
+  /// `buffer_pages`, so every cluster still fits). The caller is
+  /// responsible for quiescence between queries
+  /// (`BufferPool::CheckQuiescent`).
+  BufferPool* shared_pool = nullptr;
+
+  /// Prebuilt, finalized prediction matrix for exactly this
+  /// (r pages, s pages, threshold, norm) query. Only meaningful for the
+  /// matrix algorithms (kNlj, kPmNlj, kRandomSc, kSc, kCc); supplying it
+  /// for a competitor algorithm is an InvalidArgument.
+  const PredictionMatrix* matrix = nullptr;
+
+  /// OpCounters charged when `matrix` was originally built. Replayed into
+  /// the query's counters so a memoized matrix reports the identical
+  /// modeled CPU cost as a cold build — the cache saves wall-clock time,
+  /// never modeled work (kNlj is exempt: its matrix is an uncharged
+  /// oracle, so nothing is replayed). May be null for an uncharged reuse.
+  const OpCounters* matrix_build_ops = nullptr;
+};
+
 /// Everything a bench row needs about one join execution. All "seconds"
 /// are modeled (DiskModel for I/O, CpuCostModel for CPU) and fully
 /// deterministic.
@@ -120,6 +156,14 @@ class JoinDriver {
   Result<JoinReport> RunVector(const VectorDataset& r,
                                const VectorDataset& s, double eps,
                                const JoinOptions& options, PairSink* sink);
+
+  /// Reentrant variant taking cached artifacts: a shared buffer pool
+  /// and/or a memoized prediction matrix (see JoinResources). With an
+  /// all-null `resources` this is exactly `RunVector` above.
+  Result<JoinReport> RunVector(const VectorDataset& r,
+                               const VectorDataset& s, double eps,
+                               const JoinOptions& options, PairSink* sink,
+                               const JoinResources& resources);
 
   /// Subsequence ε-join (L2 over length-L windows) of two time series.
   Result<JoinReport> RunTimeSeries(const TimeSeriesStore& r,

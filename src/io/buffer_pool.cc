@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 #include "io/disk_scheduler.h"
 #include "obs/metrics.h"
@@ -188,6 +189,14 @@ Status BufferPool::Clear() {
     return Status::Internal("Clear with pinned pages outstanding");
   frames_.clear();
   lru_.clear();
+  return Status::OK();
+}
+
+Status BufferPool::CheckQuiescent() const {
+  if (pinned_count_ > 0)
+    return Status::Internal("pool not quiescent: " +
+                            std::to_string(pinned_count_) +
+                            " pinned page(s) outstanding");
   return Status::OK();
 }
 

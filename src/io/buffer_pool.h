@@ -25,6 +25,14 @@ namespace pmjoin {
 /// Cluster reuse across consecutive clusters (the paper's Optimization 3)
 /// falls out of this design: pages shared with the previous cluster are
 /// still resident and hit the pool.
+///
+/// A pool may also be shared *across* whole joins (the join server hands
+/// one pool to every query via JoinResources): page identity is global
+/// (PageId = file + index), so residency left by one query simply turns
+/// the next query's reads of the same pages into buffer hits. The sharer
+/// must serialize access (the pool is not thread-safe) and should assert
+/// CheckQuiescent() at query boundaries — a leaked pin would silently
+/// shrink every later query's effective buffer.
 class BufferPool {
  public:
   /// A pool holding at most `capacity` pages. `disk` must outlive the pool.
@@ -76,6 +84,13 @@ class BufferPool {
   /// Drops all unpinned pages (used between independent experiment phases).
   /// Fails if any page is still pinned.
   Status Clear();
+
+  /// Verifies no page is pinned (every resident page is evictable).
+  /// Callers sharing a pool across joins (the join server) check this at
+  /// query boundaries: a leaked pin is a bug in the finished query, and
+  /// left in place it would steal buffer capacity from every subsequent
+  /// one. Returns Internal naming the pinned count on violation.
+  Status CheckQuiescent() const;
 
   /// Full structural audit of the pool's bookkeeping: residency never
   /// exceeds capacity, `PinnedCount()` equals the number of frames with a

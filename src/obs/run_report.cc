@@ -23,34 +23,6 @@ void AppendF(std::string* out, const char* format, ...) {
   if (n > 0) out->append(buffer, static_cast<size_t>(n));
 }
 
-std::string JsonString(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  out.push_back('"');
-  return out;
-}
-
-void AppendIoStats(std::string* out, const IoStats& io) {
-  AppendF(out,
-          "{\"pages_read\":%" PRIu64 ",\"pages_written\":%" PRIu64
-          ",\"seeks\":%" PRIu64 ",\"sequential_reads\":%" PRIu64
-          ",\"buffer_hits\":%" PRIu64 "}",
-          io.pages_read, io.pages_written, io.seeks, io.sequential_reads,
-          io.buffer_hits);
-}
-
-void AppendOpCounters(std::string* out, const OpCounters& ops) {
-  AppendF(out,
-          "{\"distance_terms\":%" PRIu64 ",\"filter_checks\":%" PRIu64
-          ",\"edit_cells\":%" PRIu64 ",\"mbr_tests\":%" PRIu64
-          ",\"cluster_ops\":%" PRIu64 ",\"result_pairs\":%" PRIu64 "}",
-          ops.distance_terms, ops.filter_checks, ops.edit_cells,
-          ops.mbr_tests, ops.cluster_ops, ops.result_pairs);
-}
-
 std::string LeafName(const std::string& path) {
   const size_t slash = path.rfind('/');
   return slash == std::string::npos ? path : path.substr(slash + 1);
@@ -66,12 +38,53 @@ bool ParentPath(const std::string& path, std::string* parent) {
 
 }  // namespace
 
+std::string JsonEscape(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void AppendJsonIoStats(std::string* out, const IoStats& io) {
+  AppendF(out,
+          "{\"pages_read\":%" PRIu64 ",\"pages_written\":%" PRIu64
+          ",\"seeks\":%" PRIu64 ",\"sequential_reads\":%" PRIu64
+          ",\"buffer_hits\":%" PRIu64 "}",
+          io.pages_read, io.pages_written, io.seeks, io.sequential_reads,
+          io.buffer_hits);
+}
+
+void AppendJsonOpCounters(std::string* out, const OpCounters& ops) {
+  AppendF(out,
+          "{\"distance_terms\":%" PRIu64 ",\"filter_checks\":%" PRIu64
+          ",\"edit_cells\":%" PRIu64 ",\"mbr_tests\":%" PRIu64
+          ",\"cluster_ops\":%" PRIu64 ",\"result_pairs\":%" PRIu64 "}",
+          ops.distance_terms, ops.filter_checks, ops.edit_cells,
+          ops.mbr_tests, ops.cluster_ops, ops.result_pairs);
+}
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  FILE* file = fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IoError("cannot open report file: " + path);
+  }
+  const size_t written = fwrite(content.data(), 1, content.size(), file);
+  const bool close_ok = fclose(file) == 0;
+  if (written != content.size() || !close_ok) {
+    return Status::IoError("short write to report file: " + path);
+  }
+  return Status::OK();
+}
+
 void RunReport::SetContext(const std::string& key, const std::string& value) {
-  context_.emplace_back(key, JsonString(value));
+  context_.emplace_back(key, JsonEscape(value));
 }
 
 void RunReport::SetContext(const std::string& key, const char* value) {
-  context_.emplace_back(key, JsonString(value));
+  context_.emplace_back(key, JsonEscape(value));
 }
 
 void RunReport::SetContext(const std::string& key, int64_t value) {
@@ -159,41 +172,41 @@ void RunReport::CaptureSession(const std::vector<TraceEvent>& events) {
 
 std::string RunReport::ToJson() const {
   std::string out = "{\"schema\":";
-  out += JsonString(kSchema);
+  out += JsonEscape(kSchema);
 
   out += ",\"context\":{";
   for (size_t i = 0; i < context_.size(); ++i) {
     if (i != 0) out += ',';
-    out += JsonString(context_[i].first);
+    out += JsonEscape(context_[i].first);
     out += ':';
     out += context_[i].second;
   }
   out += '}';
 
   out += ",\"io_totals\":";
-  AppendIoStats(&out, io_totals_);
+  AppendJsonIoStats(&out, io_totals_);
   out += ",\"unattributed_io\":";
-  AppendIoStats(&out, unattributed_io_);
+  AppendJsonIoStats(&out, unattributed_io_);
 
   out += ",\"phases\":[";
   for (size_t i = 0; i < phases_.size(); ++i) {
     const PhaseRow& row = phases_[i];
     if (i != 0) out += ',';
     out += "{\"path\":";
-    out += JsonString(row.path);
+    out += JsonEscape(row.path);
     out += ",\"name\":";
-    out += JsonString(row.name);
+    out += JsonEscape(row.name);
     AppendF(&out, ",\"count\":%" PRIu64 ",\"wall_ns\":%lld", row.count,
             static_cast<long long>(row.wall_ns));
     if (row.has_io) {
       out += ",\"io\":";
-      AppendIoStats(&out, row.io);
+      AppendJsonIoStats(&out, row.io);
       out += ",\"io_self\":";
-      AppendIoStats(&out, row.io_self);
+      AppendJsonIoStats(&out, row.io_self);
     }
     if (row.has_ops) {
       out += ",\"ops\":";
-      AppendOpCounters(&out, row.ops);
+      AppendJsonOpCounters(&out, row.ops);
     }
     out += '}';
   }
@@ -204,9 +217,9 @@ std::string RunReport::ToJson() const {
     const MetricsRegistry::MetricRow& row = metrics_[i];
     if (i != 0) out += ',';
     out += "{\"name\":";
-    out += JsonString(row.name);
+    out += JsonEscape(row.name);
     out += ",\"type\":";
-    out += JsonString(row.type);
+    out += JsonEscape(row.type);
     AppendF(&out, ",\"value\":%lld", static_cast<long long>(row.value));
     if (row.type == "histogram") {
       out += ",\"buckets\":[";
@@ -231,17 +244,7 @@ std::string RunReport::ToJson() const {
 }
 
 Status RunReport::WriteFile(const std::string& path) const {
-  FILE* file = fopen(path.c_str(), "w");
-  if (file == nullptr) {
-    return Status::IoError("cannot open report file: " + path);
-  }
-  const std::string json = ToJson();
-  const size_t written = fwrite(json.data(), 1, json.size(), file);
-  const bool close_ok = fclose(file) == 0;
-  if (written != json.size() || !close_ok) {
-    return Status::IoError("short write to report file: " + path);
-  }
-  return Status::OK();
+  return WriteTextFile(path, ToJson());
 }
 
 }  // namespace obs

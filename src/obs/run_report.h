@@ -15,6 +15,28 @@
 namespace pmjoin {
 namespace obs {
 
+// JSON building blocks shared by every report writer in the repo (this
+// file's RunReport and the server's aggregate report,
+// src/server/server_report.cc). Hand-rolled because the repo carries no
+// JSON dependency; emit compact single-line JSON.
+
+// `s` as a quoted JSON string with `"` and `\` escaped (the repo never
+// puts control characters in report strings).
+std::string JsonEscape(const std::string& s);
+
+// Appends `io` as a JSON object with the five IoStats fields (the layout
+// tools/validate_report.py's io_stats definition checks).
+void AppendJsonIoStats(std::string* out, const IoStats& io);
+
+// Appends `ops` as a JSON object with the six OpCounters fields.
+void AppendJsonOpCounters(std::string* out, const OpCounters& ops);
+
+// Writes `content` to `path`, whole-file. The single sanctioned path for
+// report-artifact writing outside the storage backend: raw file I/O is
+// lint-restricted (tools/pmjoin_lint.py file-io rule) to keep data-plane
+// bytes flowing through StorageBackend, and report writers route here.
+Status WriteTextFile(const std::string& path, const std::string& content);
+
 // One aggregated phase of a run report: every completed occurrence of the
 // same span path, folded together. `io` is the inclusive modeled-I/O delta
 // (what the span itself observed); `io_self` is the exclusive share — the

@@ -1,0 +1,109 @@
+#include "server/admission.h"
+
+#include <utility>
+
+namespace pmjoin {
+namespace server {
+
+Status AdmissionController::Admit(JobSpec* job) const {
+  Result<DatasetSpec> r = DatasetSpec::Parse(job->r);
+  if (!r.ok()) return r.status();
+  Result<DatasetSpec> s = DatasetSpec::Parse(job->s);
+  if (!s.ok()) return s.status();
+  if (r->dims != s->dims)
+    return Status::InvalidArgument("dimension mismatch: " + job->r +
+                                   " vs " + job->s);
+  if (job->eps <= 0.0)
+    return Status::InvalidArgument("eps must be > 0");
+  switch (job->engine) {
+    case Algorithm::kNlj:
+    case Algorithm::kPmNlj:
+    case Algorithm::kRandomSc:
+    case Algorithm::kSc:
+    case Algorithm::kCc:
+      break;
+    default:
+      return Status::InvalidArgument(
+          "engine not served (matrix family only): " +
+          AlgorithmName(job->engine));
+  }
+  if (job->buffer_pages == 0)
+    job->buffer_pages = options_.default_buffer_pages;
+  if (job->buffer_pages > options_.pool_pages)
+    return Status::InvalidArgument(
+        "buffer_pages " + std::to_string(job->buffer_pages) +
+        " exceeds the shared pool (" + std::to_string(options_.pool_pages) +
+        " pages)");
+  if (job->num_threads == 0) job->num_threads = options_.default_threads;
+  if (job->num_threads > options_.max_threads)
+    return Status::InvalidArgument(
+        "threads " + std::to_string(job->num_threads) + " exceeds limit " +
+        std::to_string(options_.max_threads));
+  return Status::OK();
+}
+
+QueryQueue::QueryQueue(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+Status QueryQueue::TryPush(QueuedQuery query) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return Status::InvalidArgument("queue closed");
+    if (entries_.size() >= capacity_)
+      return Status::BufferFull("query queue at capacity (" +
+                                std::to_string(capacity_) + ")");
+    entries_.push_back(std::move(query));
+    if (entries_.size() > max_depth_seen_) max_depth_seen_ = entries_.size();
+  }
+  not_empty_.notify_one();
+  return Status::OK();
+}
+
+Status QueryQueue::PushBlocking(QueuedQuery query) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] {
+      return closed_ || entries_.size() < capacity_;
+    });
+    if (closed_) return Status::InvalidArgument("queue closed");
+    entries_.push_back(std::move(query));
+    if (entries_.size() > max_depth_seen_) max_depth_seen_ = entries_.size();
+  }
+  not_empty_.notify_one();
+  return Status::OK();
+}
+
+std::optional<QueuedQuery> QueryQueue::Pop() {
+  std::optional<QueuedQuery> out;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !entries_.empty(); });
+    if (entries_.empty()) return out;  // closed and drained
+    out = std::move(entries_.front());
+    entries_.pop_front();
+  }
+  not_full_.notify_one();
+  return out;
+}
+
+void QueryQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+size_t QueryQueue::Depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+size_t QueryQueue::MaxDepthSeen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_depth_seen_;
+}
+
+}  // namespace server
+}  // namespace pmjoin

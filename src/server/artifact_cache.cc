@@ -1,0 +1,122 @@
+#include "server/artifact_cache.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "core/plane_sweep.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace pmjoin {
+namespace server {
+
+namespace {
+
+/// Matrix memo key: dataset keys + predicate + build knobs. eps is
+/// rendered with %.17g so distinct doubles get distinct keys (a
+/// round-trip-exact encoding), and equal doubles always collide.
+std::string MatrixKey(const std::string& r_key, const std::string& s_key,
+                      double eps, Norm norm, bool hierarchical,
+                      uint32_t filter_iterations) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "|%.17g|", eps);
+  return r_key + "|" + s_key + buf + NormName(norm) +
+         (hierarchical ? "|hier|" : "|flat|") +
+         std::to_string(filter_iterations);
+}
+
+}  // namespace
+
+ArtifactCache::ArtifactCache(StorageBackend* disk, Options options)
+    : disk_(disk), options_(options) {}
+
+Result<const VectorDataset*> ArtifactCache::GetDataset(
+    const DatasetSpec& spec) {
+  const std::string key = spec.Canonical();
+  auto it = datasets_.find(key);
+  if (it != datasets_.end()) {
+    ++stats_.dataset_hits;
+    PMJOIN_METRIC_COUNT("server.cache.dataset_hits", 1);
+    return static_cast<const VectorDataset*>(it->second.get());
+  }
+
+  PMJOIN_SPAN("artifact_dataset");
+  // A persisted copy (this process with persist_datasets on, or a prior
+  // one over the same file backend) restores bit-identically; NotFound
+  // means we are the first and must build.
+  Result<VectorDataset> opened = VectorDataset::Open(disk_, key);
+  if (opened.ok()) {
+    ++stats_.dataset_opens;
+    PMJOIN_METRIC_COUNT("server.cache.dataset_opens", 1);
+    auto owned =
+        std::make_unique<VectorDataset>(std::move(opened).value());
+    const VectorDataset* raw = owned.get();
+    datasets_.emplace(key, std::move(owned));
+    return raw;
+  }
+  if (!opened.status().IsNotFound()) return opened.status();
+
+  VectorDataset::Options build_options;
+  build_options.page_size_bytes = options_.page_size_bytes;
+  Result<VectorDataset> built =
+      VectorDataset::Build(disk_, key, spec.Generate(), build_options);
+  if (!built.ok()) return built.status();
+  if (options_.persist_datasets) {
+    Status st = built.value().Persist(disk_);
+    if (!st.ok()) return st;
+  }
+  ++stats_.dataset_builds;
+  PMJOIN_METRIC_COUNT("server.cache.dataset_builds", 1);
+  auto owned = std::make_unique<VectorDataset>(std::move(built).value());
+  const VectorDataset* raw = owned.get();
+  datasets_.emplace(key, std::move(owned));
+  return raw;
+}
+
+Result<const ArtifactCache::CachedMatrix*> ArtifactCache::GetMatrix(
+    const DatasetSpec& r, const DatasetSpec& s, double eps, Norm norm,
+    bool* hit) {
+  const std::string key =
+      MatrixKey(r.Canonical(), s.Canonical(), eps, norm,
+                options_.hierarchical_matrix, options_.filter_iterations);
+  auto it = matrices_.find(key);
+  if (it != matrices_.end()) {
+    *hit = true;
+    ++stats_.matrix_hits;
+    PMJOIN_METRIC_COUNT("server.cache.matrix_hits", 1);
+    return static_cast<const CachedMatrix*>(it->second.get());
+  }
+  *hit = false;
+
+  Result<const VectorDataset*> rd = GetDataset(r);
+  if (!rd.ok()) return rd.status();
+  Result<const VectorDataset*> sd = GetDataset(s);
+  if (!sd.ok()) return sd.status();
+
+  PMJOIN_SPAN("artifact_matrix");
+  // The build charges its OpCounters into the cached entry; the driver
+  // replays them per consuming query (JoinResources::matrix_build_ops),
+  // so the counters end up identical to a standalone run whether this
+  // entry is cold or warm.
+  OpCounters build_ops;
+  PredictionMatrix matrix =
+      options_.hierarchical_matrix
+          ? BuildPredictionMatrixHierarchical(
+                (*rd)->tree(), (*sd)->tree(), (*rd)->num_pages(),
+                (*sd)->num_pages(), eps, norm,
+                options_.filter_iterations, &build_ops)
+          : BuildPredictionMatrixFlat((*rd)->page_mbrs(),
+                                      (*sd)->page_mbrs(), eps, norm,
+                                      &build_ops);
+  auto cached = std::make_unique<CachedMatrix>(
+      CachedMatrix{std::move(matrix), build_ops});
+  ++stats_.matrix_builds;
+  PMJOIN_METRIC_COUNT("server.cache.matrix_builds", 1);
+  const CachedMatrix* raw = cached.get();
+  matrices_.emplace(key, std::move(cached));
+  return raw;
+}
+
+}  // namespace server
+}  // namespace pmjoin

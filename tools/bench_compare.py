@@ -33,7 +33,9 @@ def load_rows(path):
 
     Accepts both artifact formats: a pmjoin.run_report.v1 object (rows in
     its "rows" array) and the legacy JSON Lines stream (one object per
-    line)."""
+    line). A pmjoin.server_report.v1 (the multi-query aggregate emitted
+    by pmjoin_server) is recognized but carries no kernel rows — naming
+    that mistake beats a confusing line-by-line parse failure."""
     with open(path, encoding="utf-8") as f:
         text = f.read()
 
@@ -51,9 +53,15 @@ def load_rows(path):
         obj = json.loads(text)
     except json.JSONDecodeError:
         obj = None
-    if isinstance(obj, dict) and str(obj.get("schema", "")).startswith(
-            "pmjoin.run_report"):
-        return collect(obj.get("rows", []))
+    if isinstance(obj, dict):
+        schema = str(obj.get("schema", ""))
+        if schema.startswith("pmjoin.server_report"):
+            print(f"{path}: {schema} is a server report; it aggregates "
+                  "join queries, not kernel benchmark rows",
+                  file=sys.stderr)
+            return {}
+        if schema.startswith("pmjoin.run_report"):
+            return collect(obj.get("rows", []))
 
     records = []
     for lineno, line in enumerate(text.split("\n"), 1):

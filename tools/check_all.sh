@@ -17,10 +17,13 @@ FAILED=0
 note() { printf '== %s\n' "$*"; }
 skip() { printf '!! %s -- skipped\n' "$*"; }
 
-# 1. Project linter (no dependencies beyond python3).
+# 1. Project linter + documentation checker (no dependencies beyond
+#    python3).
 note "pmjoin_lint"
 if command -v python3 >/dev/null 2>&1; then
   python3 "$ROOT/tools/pmjoin_lint.py" || FAILED=1
+  note "check_docs"
+  python3 "$ROOT/tools/check_docs.py" || FAILED=1
 else
   skip "python3 not found"
 fi

@@ -26,10 +26,11 @@ Rules (see DESIGN.md "Invariants & checking"):
                     truthful.
   file-io           Raw file I/O primitives (open/fopen/pread/pwrite/...)
                     in src/ are restricted to the FileBackend
-                    implementation plus the obs artifact writers
-                    (run_report, trace_exporter) — everything else must do
-                    its I/O through a StorageBackend so every byte is both
-                    modeled and measured.
+                    implementation, the obs artifact writers (run_report,
+                    trace_exporter), and the server entry point's
+                    control-plane job-file/report handling — everything
+                    else must do its I/O through a StorageBackend so every
+                    byte is both modeled and measured.
   kernel-dispatch   Instruction-set selection is an implementation detail
                     of the batch distance kernels: src/ code must reach
                     them through geom/distance_kernels.h, so __AVX2__,
@@ -68,6 +69,10 @@ FILE_IO_ALLOWED = (
     "src/io/file_backend.cc",
     "src/obs/run_report.cc",
     "src/obs/trace_exporter.cc",
+    # Control-plane I/O of the server entry point: reading the job file
+    # and writing report artifacts. Data-plane bytes still flow through a
+    # StorageBackend.
+    "src/tools/pmjoin_server.cc",
 )
 KERNEL_DISPATCH_ALLOWED = (
     "src/geom/distance_kernels.h",

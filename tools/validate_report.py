@@ -1,17 +1,23 @@
 #!/usr/bin/env python3
-"""Validate a pmjoin run report (pmjoin.run_report.v1).
+"""Validate a pmjoin report (run report or server report).
+
+Dispatches on the top-level "schema" key:
+
+  pmjoin.run_report.v1    -> tools/run_report_schema.json
+  pmjoin.server_report.v1 -> tools/server_report_schema.json
 
 Two layers of checking, stdlib only (no jsonschema dependency):
 
   1. Structure: the report is validated against the subset of JSON Schema
-     used by tools/run_report_schema.json (type, required, properties,
+     used by the schema files (type, required, properties,
      additionalProperties, items, enum, const, minimum, $ref into
      #/definitions).
-  2. Semantics: the exact-attribution ledger — for every IoStats field,
-     the sum of per-phase exclusive deltas (`io_self`) plus
-     `unattributed_io` must equal `io_totals` exactly. This is the
-     subsystem's hard invariant: the per-phase breakdown is a partition of
-     the run's modeled I/O, not an approximation of it.
+  2. Semantics: the exact-attribution ledger. For a run report, the sum
+     of per-phase exclusive deltas (`io_self`) plus `unattributed_io`
+     must equal `io_totals` exactly. For a server report, the sum of
+     per-query `io` rows plus `unattributed_io` must equal `io_totals`.
+     This is the subsystem's hard invariant: the breakdown is a partition
+     of the modeled I/O, not an approximation of it.
 
 Usage: tools/validate_report.py REPORT.json [...]
 Exit code is non-zero if any report fails.
@@ -21,8 +27,13 @@ import json
 import os
 import sys
 
-SCHEMA_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
-                           "run_report_schema.json")
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+SCHEMA_PATHS = {
+    "pmjoin.run_report.v1": os.path.join(TOOLS_DIR,
+                                         "run_report_schema.json"),
+    "pmjoin.server_report.v1": os.path.join(TOOLS_DIR,
+                                            "server_report_schema.json"),
+}
 
 IO_FIELDS = ("pages_read", "pages_written", "seeks", "sequential_reads",
              "buffer_hits")
@@ -86,31 +97,42 @@ def check(value, schema, schema_root, path, errors):
             check(item, schema["items"], schema_root, f"{path}[{i}]", errors)
 
 
-def check_ledger(report, errors):
-    """Σ phases[].io_self + unattributed_io == io_totals, field by field."""
+def check_ledger(report, rows, io_key, errors):
+    """Σ rows[].<io_key> + unattributed_io == io_totals, field by field."""
     totals = report.get("io_totals", {})
     ledger = dict(report.get("unattributed_io", {}))
-    for phase in report.get("phases", []):
-        for field, delta in phase.get("io_self", {}).items():
+    for row in rows:
+        for field, delta in row.get(io_key, {}).items():
             ledger[field] = ledger.get(field, 0) + delta
     for field in IO_FIELDS:
         if ledger.get(field) != totals.get(field):
             errors.append(
                 f"ledger mismatch on {field}: "
-                f"sum(io_self) + unattributed = {ledger.get(field)}, "
+                f"sum({io_key}) + unattributed = {ledger.get(field)}, "
                 f"io_totals = {totals.get(field)}")
 
 
-def validate_file(path, schema):
+def validate_file(path, schemas):
     errors = []
     try:
         with open(path, encoding="utf-8") as fh:
             report = json.load(fh)
     except (OSError, json.JSONDecodeError) as exc:
         return [f"unreadable: {exc}"]
+    name = report.get("schema") if isinstance(report, dict) else None
+    if name not in schemas:
+        return [f"unknown schema {name!r}; expected one of "
+                f"{sorted(schemas)}"]
+    schema = schemas[name]
     check(report, schema, schema, "$", errors)
-    if not errors:
-        check_ledger(report, errors)
+    if errors:
+        return errors
+    if name == "pmjoin.server_report.v1":
+        # A server's I/O partitions over its queries' obs sessions.
+        check_ledger(report, report.get("queries", []), "io", errors)
+    else:
+        # A run's I/O partitions over its span tree's exclusive deltas.
+        check_ledger(report, report.get("phases", []), "io_self", errors)
     return errors
 
 
@@ -118,11 +140,13 @@ def main(argv):
     if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    with open(SCHEMA_PATH, encoding="utf-8") as fh:
-        schema = json.load(fh)
+    schemas = {}
+    for name, schema_path in SCHEMA_PATHS.items():
+        with open(schema_path, encoding="utf-8") as fh:
+            schemas[name] = json.load(fh)
     failed = False
     for path in argv[1:]:
-        errors = validate_file(path, schema)
+        errors = validate_file(path, schemas)
         if errors:
             failed = True
             print(f"FAIL {path}")

@@ -1,0 +1,71 @@
+#include "common/sync.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace pmjoin {
+
+void CondVar::Wait(Mutex* mu) {
+  // Adopt the already-held native mutex so std::condition_variable can
+  // release and reacquire it; `release()` hands ownership back to the
+  // caller's MutexLock without unlocking. The rank stack is untouched on
+  // purpose (see the class comment in sync.h).
+  std::unique_lock<std::mutex> adapter(mu->raw_, std::adopt_lock);
+  cv_.wait(adapter);
+  adapter.release();
+}
+
+namespace sync_internal {
+
+#ifdef PMJOIN_PARANOID
+
+namespace {
+
+/// Ranks (with names for diagnostics) of the mutexes the calling thread
+/// currently holds, in acquisition order. Because NoteAcquire only ever
+/// appends a rank strictly greater than everything present, the vector
+/// stays sorted ascending even when releases happen out of order — so
+/// the discipline check is a single comparison against the back.
+struct HeldLock {
+  uint32_t rank;
+  const char* name;
+};
+thread_local std::vector<HeldLock> tls_held_locks;
+
+}  // namespace
+
+void NoteAcquire(uint32_t rank, const char* name) {
+  if (!tls_held_locks.empty()) {
+    const HeldLock& top = tls_held_locks.back();
+    PMJOIN_CHECK(rank > top.rank, "lock-rank violation: acquiring '", name,
+                 "' (rank ", rank, ") while holding '", top.name, "' (rank ",
+                 top.rank,
+                 "); acquisitions must follow the strictly increasing "
+                 "lock_rank hierarchy (common/sync.h)");
+  }
+  tls_held_locks.push_back(HeldLock{rank, name});
+}
+
+void NoteRelease(uint32_t rank, const char* name) {
+  for (auto it = tls_held_locks.rbegin(); it != tls_held_locks.rend(); ++it) {
+    if (it->rank == rank && it->name == name) {
+      tls_held_locks.erase(std::next(it).base());
+      return;
+    }
+  }
+  PMJOIN_CHECK(false, "lock-rank bookkeeping: releasing '", name, "' (rank ",
+               rank, ") that this thread does not hold");
+}
+
+#else  // !PMJOIN_PARANOID
+
+// Defined (as no-ops) so the library has one ABI regardless of build
+// flavor; release-build Mutex methods never call them.
+void NoteAcquire(uint32_t /*rank*/, const char* /*name*/) {}
+void NoteRelease(uint32_t /*rank*/, const char* /*name*/) {}
+
+#endif  // PMJOIN_PARANOID
+
+}  // namespace sync_internal
+}  // namespace pmjoin

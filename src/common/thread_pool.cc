@@ -1,24 +1,25 @@
 #include "common/thread_pool.h"
 
-#include <cassert>
 #include <utility>
+
+#include "common/check.h"
 
 namespace pmjoin {
 
 void WaitGroup::Add(uint32_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   pending_ += n;
 }
 
 void WaitGroup::Done() {
-  std::lock_guard<std::mutex> lock(mu_);
-  assert(pending_ > 0 && "Done without matching Add");
-  if (--pending_ == 0) cv_.notify_all();
+  MutexLock lock(&mu_);
+  PMJOIN_CHECK(pending_ > 0, "WaitGroup::Done without matching Add");
+  if (--pending_ == 0) cv_.NotifyAll();
 }
 
 void WaitGroup::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(&mu_);
+  while (pending_ != 0) cv_.Wait(&mu_);
 }
 
 ThreadPool::ThreadPool(uint32_t num_threads) {
@@ -30,27 +31,27 @@ ThreadPool::ThreadPool(uint32_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(&mu_);
       if (stop_) return;
       task = std::move(queue_.front());
       queue_.pop_front();

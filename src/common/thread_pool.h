@@ -1,13 +1,13 @@
 #ifndef PMJOIN_COMMON_THREAD_POOL_H_
 #define PMJOIN_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace pmjoin {
 
@@ -18,18 +18,18 @@ namespace pmjoin {
 class WaitGroup {
  public:
   /// Registers `n` tasks that will later call Done().
-  void Add(uint32_t n);
+  void Add(uint32_t n) PMJOIN_EXCLUDES(mu_);
 
   /// Marks one task finished.
-  void Done();
+  void Done() PMJOIN_EXCLUDES(mu_);
 
   /// Blocks until the outstanding count is zero.
-  void Wait();
+  void Wait() PMJOIN_EXCLUDES(mu_);
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int64_t pending_ = 0;
+  Mutex mu_{lock_rank::kWaitGroup, "WaitGroup::mu_"};
+  CondVar cv_;
+  int64_t pending_ PMJOIN_GUARDED_BY(mu_) = 0;
 };
 
 /// A fixed-size pool of worker threads draining a FIFO task queue.
@@ -52,18 +52,18 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues `task` for execution by some worker.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) PMJOIN_EXCLUDES(mu_);
 
   /// Number of worker threads.
   uint32_t size() const { return static_cast<uint32_t>(threads_.size()); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() PMJOIN_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mu_{lock_rank::kThreadPool, "ThreadPool::mu_"};
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ PMJOIN_GUARDED_BY(mu_);
+  bool stop_ PMJOIN_GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };
 

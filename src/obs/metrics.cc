@@ -71,7 +71,7 @@ MetricsRegistry& MetricsRegistry::Get() {
 }
 
 Counter* MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::unique_ptr<Counter>(new Counter()))
@@ -81,7 +81,7 @@ Counter* MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge* MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::unique_ptr<Gauge>(new Gauge()))
@@ -91,7 +91,7 @@ Gauge* MetricsRegistry::gauge(std::string_view name) {
 }
 
 Histogram* MetricsRegistry::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -102,14 +102,14 @@ Histogram* MetricsRegistry::histogram(std::string_view name) {
 }
 
 void MetricsRegistry::ResetValues() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
 }
 
 std::vector<MetricsRegistry::MetricRow> MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<MetricRow> rows;
   rows.reserve(counters_.size() + gauges_.size() + histograms_.size());
   // std::map iteration is name-sorted per kind; merge the three sorted

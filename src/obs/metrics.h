@@ -6,11 +6,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace pmjoin {
 namespace obs {
@@ -112,11 +113,11 @@ class MetricsRegistry {
  public:
   static MetricsRegistry& Get();
 
-  Counter* counter(std::string_view name);
-  Gauge* gauge(std::string_view name);
-  Histogram* histogram(std::string_view name);
+  Counter* counter(std::string_view name) PMJOIN_EXCLUDES(mu_);
+  Gauge* gauge(std::string_view name) PMJOIN_EXCLUDES(mu_);
+  Histogram* histogram(std::string_view name) PMJOIN_EXCLUDES(mu_);
 
-  void ResetValues();
+  void ResetValues() PMJOIN_EXCLUDES(mu_);
 
   struct MetricRow {
     std::string name;
@@ -126,15 +127,21 @@ class MetricsRegistry {
     std::vector<std::pair<uint32_t, uint64_t>> buckets;
   };
   // All registered metrics sorted by name, including zero-valued ones.
-  std::vector<MetricRow> Snapshot() const;
+  std::vector<MetricRow> Snapshot() const PMJOIN_EXCLUDES(mu_);
 
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // Guards the handle maps only; the metric *values* are thread-sharded
+  // atomics mutated without this lock. Highest rank in the hierarchy:
+  // first-touch handle lookups happen under the tracer and cache locks.
+  mutable Mutex mu_{lock_rank::kMetricsRegistry, "MetricsRegistry::mu_"};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      PMJOIN_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      PMJOIN_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      PMJOIN_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -23,7 +23,7 @@ Tracer& Tracer::Get() {
 }
 
 void Tracer::StartSession(StorageBackend* disk) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   events_.clear();
   disk_ = disk;
   session_thread_ = std::this_thread::get_id();
@@ -36,7 +36,7 @@ void Tracer::StartSession(StorageBackend* disk) {
 }
 
 void Tracer::StopSession() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   internal::g_obs_enabled.store(false, std::memory_order_release);
   if (!session_active_) return;
   session_active_ = false;
@@ -45,19 +45,19 @@ void Tracer::StopSession() {
 }
 
 IoStats Tracer::SessionIo() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (disk_ == nullptr) return IoStats();
   const IoStats end = session_active_ ? disk_->stats() : session_end_io_;
   return end.Delta(session_start_io_);
 }
 
 std::vector<TraceEvent> Tracer::TakeEvents() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return std::exchange(events_, {});
 }
 
 bool Tracer::ArmSpan(bool* capture_io, IoStats* io_start) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!session_active_) return false;
   *capture_io =
       disk_ != nullptr && std::this_thread::get_id() == session_thread_;
@@ -67,7 +67,7 @@ bool Tracer::ArmSpan(bool* capture_io, IoStats* io_start) {
 
 void Tracer::FinishSpan(TraceEvent event, bool capture_io,
                         const IoStats& io_start) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!session_active_) return;  // session ended mid-span: drop the event
   if (capture_io) {
     event.has_io = true;

@@ -2,12 +2,12 @@
 #define PMJOIN_OBS_SPAN_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/op_counters.h"
+#include "common/sync.h"
 #include "io/io_stats.h"
 #include "obs/metrics.h"
 
@@ -55,16 +55,16 @@ class Tracer {
 
   // `disk` may be null (timing/ops-only session). Spans must not straddle
   // session boundaries: start before the observed run, stop after it.
-  void StartSession(StorageBackend* disk);
-  void StopSession();
+  void StartSession(StorageBackend* disk) PMJOIN_EXCLUDES(mu_);
+  void StopSession() PMJOIN_EXCLUDES(mu_);
   bool active() const { return ObsEnabled(); }
 
   // IoStats accumulated since StartSession (through StopSession once
   // stopped). Zero when the session had no disk.
-  IoStats SessionIo() const;
+  IoStats SessionIo() const PMJOIN_EXCLUDES(mu_);
 
   // Completed events, oldest first. Call after StopSession.
-  std::vector<TraceEvent> TakeEvents();
+  std::vector<TraceEvent> TakeEvents() PMJOIN_EXCLUDES(mu_);
 
  private:
   friend class Span;
@@ -73,19 +73,20 @@ class Tracer {
   // Span begin: returns false when no session is active. Fills *capture_io
   // (true iff the caller runs on the session thread and the session has a
   // disk) and, when capturing, *io_start with the disk's current stats.
-  bool ArmSpan(bool* capture_io, IoStats* io_start);
+  bool ArmSpan(bool* capture_io, IoStats* io_start) PMJOIN_EXCLUDES(mu_);
   // Span end: completes the io delta when captured and appends the event.
   // Drops the event if the session ended while the span was open.
-  void FinishSpan(TraceEvent event, bool capture_io, const IoStats& io_start);
+  void FinishSpan(TraceEvent event, bool capture_io, const IoStats& io_start)
+      PMJOIN_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  StorageBackend* disk_ = nullptr;
-  std::thread::id session_thread_;
-  IoStats session_start_io_;
-  IoStats session_end_io_;
-  bool session_active_ = false;
-  bool session_ended_ = false;
-  std::vector<TraceEvent> events_;
+  mutable Mutex mu_{lock_rank::kTracer, "obs::Tracer::mu_"};
+  StorageBackend* disk_ PMJOIN_GUARDED_BY(mu_) = nullptr;
+  std::thread::id session_thread_ PMJOIN_GUARDED_BY(mu_);
+  IoStats session_start_io_ PMJOIN_GUARDED_BY(mu_);
+  IoStats session_end_io_ PMJOIN_GUARDED_BY(mu_);
+  bool session_active_ PMJOIN_GUARDED_BY(mu_) = false;
+  bool session_ended_ PMJOIN_GUARDED_BY(mu_) = false;
+  std::vector<TraceEvent> events_ PMJOIN_GUARDED_BY(mu_);
 };
 
 // RAII phase span. Construction outside an active session is a single

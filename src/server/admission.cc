@@ -45,63 +45,65 @@ Status AdmissionController::Admit(JobSpec* job) const {
 QueryQueue::QueryQueue(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
+void QueryQueue::NoteDepthLocked() {
+  if (entries_.size() > max_depth_seen_) max_depth_seen_ = entries_.size();
+}
+
 Status QueryQueue::TryPush(QueuedQuery query) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (closed_) return Status::InvalidArgument("queue closed");
     if (entries_.size() >= capacity_)
       return Status::BufferFull("query queue at capacity (" +
                                 std::to_string(capacity_) + ")");
     entries_.push_back(std::move(query));
-    if (entries_.size() > max_depth_seen_) max_depth_seen_ = entries_.size();
+    NoteDepthLocked();
   }
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
   return Status::OK();
 }
 
 Status QueryQueue::PushBlocking(QueuedQuery query) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [this] {
-      return closed_ || entries_.size() < capacity_;
-    });
+    MutexLock lock(&mu_);
+    while (!closed_ && entries_.size() >= capacity_) not_full_.Wait(&mu_);
     if (closed_) return Status::InvalidArgument("queue closed");
     entries_.push_back(std::move(query));
-    if (entries_.size() > max_depth_seen_) max_depth_seen_ = entries_.size();
+    NoteDepthLocked();
   }
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
   return Status::OK();
 }
 
 std::optional<QueuedQuery> QueryQueue::Pop() {
   std::optional<QueuedQuery> out;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return closed_ || !entries_.empty(); });
+    MutexLock lock(&mu_);
+    while (!closed_ && entries_.empty()) not_empty_.Wait(&mu_);
     if (entries_.empty()) return out;  // closed and drained
     out = std::move(entries_.front());
     entries_.pop_front();
   }
-  not_full_.notify_one();
+  not_full_.NotifyOne();
   return out;
 }
 
 void QueryQueue::Close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     closed_ = true;
   }
-  not_empty_.notify_all();
-  not_full_.notify_all();
+  not_empty_.NotifyAll();
+  not_full_.NotifyAll();
 }
 
 size_t QueryQueue::Depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return entries_.size();
 }
 
 size_t QueryQueue::MaxDepthSeen() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return max_depth_seen_;
 }
 

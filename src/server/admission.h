@@ -1,13 +1,12 @@
 #ifndef PMJOIN_SERVER_ADMISSION_H_
 #define PMJOIN_SERVER_ADMISSION_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "server/job.h"
 
 namespace pmjoin {
@@ -66,36 +65,40 @@ class QueryQueue {
 
   /// Enqueues, or fails with BufferFull (queue at capacity) /
   /// InvalidArgument (queue closed). Never blocks.
-  Status TryPush(QueuedQuery query);
+  Status TryPush(QueuedQuery query) PMJOIN_EXCLUDES(mu_);
 
   /// Enqueues, waiting for space if the queue is at capacity. Fails only
   /// if the queue is closed while waiting.
-  Status PushBlocking(QueuedQuery query);
+  Status PushBlocking(QueuedQuery query) PMJOIN_EXCLUDES(mu_);
 
   /// Dequeues the oldest entry, blocking while the queue is open and
   /// empty. Returns nullopt once the queue is closed *and* drained —
   /// the worker's termination signal.
-  std::optional<QueuedQuery> Pop();
+  std::optional<QueuedQuery> Pop() PMJOIN_EXCLUDES(mu_);
 
   /// Closes the queue: further pushes fail, blocked producers wake with
   /// an error, and Pop drains the remaining entries before returning
   /// nullopt.
-  void Close();
+  void Close() PMJOIN_EXCLUDES(mu_);
 
-  size_t Depth() const;
+  size_t Depth() const PMJOIN_EXCLUDES(mu_);
   size_t capacity() const { return capacity_; }
 
   /// High-water mark of Depth() over the queue's lifetime.
-  size_t MaxDepthSeen() const;
+  size_t MaxDepthSeen() const PMJOIN_EXCLUDES(mu_);
 
  private:
+  /// Folds the current depth into the high-water mark; call after every
+  /// push, with the queue mutex held.
+  void NoteDepthLocked() PMJOIN_REQUIRES(mu_);
+
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<QueuedQuery> entries_;
-  size_t max_depth_seen_ = 0;
-  bool closed_ = false;
+  mutable Mutex mu_{lock_rank::kQueryQueue, "QueryQueue::mu_"};
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<QueuedQuery> entries_ PMJOIN_GUARDED_BY(mu_);
+  size_t max_depth_seen_ PMJOIN_GUARDED_BY(mu_) = 0;
+  bool closed_ PMJOIN_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace server

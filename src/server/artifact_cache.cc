@@ -33,6 +33,12 @@ ArtifactCache::ArtifactCache(StorageBackend* disk, Options options)
 
 Result<const VectorDataset*> ArtifactCache::GetDataset(
     const DatasetSpec& spec) {
+  MutexLock lock(&mu_);
+  return GetDatasetLocked(spec);
+}
+
+Result<const VectorDataset*> ArtifactCache::GetDatasetLocked(
+    const DatasetSpec& spec) {
   const std::string key = spec.Canonical();
   auto it = datasets_.find(key);
   if (it != datasets_.end()) {
@@ -77,6 +83,7 @@ Result<const VectorDataset*> ArtifactCache::GetDataset(
 Result<const ArtifactCache::CachedMatrix*> ArtifactCache::GetMatrix(
     const DatasetSpec& r, const DatasetSpec& s, double eps, Norm norm,
     bool* hit) {
+  MutexLock lock(&mu_);
   const std::string key =
       MatrixKey(r.Canonical(), s.Canonical(), eps, norm,
                 options_.hierarchical_matrix, options_.filter_iterations);
@@ -89,9 +96,9 @@ Result<const ArtifactCache::CachedMatrix*> ArtifactCache::GetMatrix(
   }
   *hit = false;
 
-  Result<const VectorDataset*> rd = GetDataset(r);
+  Result<const VectorDataset*> rd = GetDatasetLocked(r);
   if (!rd.ok()) return rd.status();
-  Result<const VectorDataset*> sd = GetDataset(s);
+  Result<const VectorDataset*> sd = GetDatasetLocked(s);
   if (!sd.ok()) return sd.status();
 
   PMJOIN_SPAN("artifact_matrix");

@@ -8,6 +8,7 @@
 
 #include "common/op_counters.h"
 #include "common/result.h"
+#include "common/sync.h"
 #include "core/prediction_matrix.h"
 #include "data/vector_dataset.h"
 #include "geom/distance.h"
@@ -33,8 +34,14 @@ namespace server {
 ///
 /// Invalidation: never — every key pins immutable content, so entries
 /// stay valid for the process lifetime (restarting the server is the only
-/// eviction; a persistent backend then turns rebuilds into Opens). Not
-/// thread-safe: the server's single worker thread is the only caller.
+/// eviction; a persistent backend then turns rebuilds into Opens).
+///
+/// Thread-safe: one mutex (rank lock_rank::kArtifactCache) guards the
+/// memo maps and stats. The server's single worker is the only builder
+/// today, but stats() may race it from reporting threads, and the
+/// sharded-execution roadmap item will add concurrent readers — the lock
+/// is held across builds by design so a second requester of the same key
+/// waits for the first build instead of duplicating it.
 class ArtifactCache {
  public:
   struct Options {
@@ -57,7 +64,8 @@ class ArtifactCache {
   /// for the cache's lifetime — two specs with equal canonical forms
   /// return the *same* object, which is how a self-join (`&r == &s`)
   /// reaches the driver.
-  Result<const VectorDataset*> GetDataset(const DatasetSpec& spec);
+  Result<const VectorDataset*> GetDataset(const DatasetSpec& spec)
+      PMJOIN_EXCLUDES(mu_);
 
   /// A memoized matrix plus the OpCounters its build charged; the driver
   /// replays those on reuse so a cache hit reports the same modeled CPU
@@ -72,7 +80,8 @@ class ArtifactCache {
   /// `*hit` reports whether this call was served from memory.
   Result<const CachedMatrix*> GetMatrix(const DatasetSpec& r,
                                         const DatasetSpec& s, double eps,
-                                        Norm norm, bool* hit);
+                                        Norm norm, bool* hit)
+      PMJOIN_EXCLUDES(mu_);
 
   /// Monotonic since construction; "hit" = served from memory, "open" =
   /// restored from the backend, "build" = generated from scratch.
@@ -83,15 +92,25 @@ class ArtifactCache {
     uint64_t matrix_hits = 0;
     uint64_t matrix_builds = 0;
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const PMJOIN_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return stats_;
+  }
 
  private:
+  /// GetDataset body, for callers (GetMatrix) already holding the lock.
+  Result<const VectorDataset*> GetDatasetLocked(const DatasetSpec& spec)
+      PMJOIN_REQUIRES(mu_);
+
   StorageBackend* disk_;
   Options options_;
-  Stats stats_;
+  mutable Mutex mu_{lock_rank::kArtifactCache, "ArtifactCache::mu_"};
+  Stats stats_ PMJOIN_GUARDED_BY(mu_);
   /// unique_ptr values: GetDataset hands out stable pointers.
-  std::map<std::string, std::unique_ptr<VectorDataset>> datasets_;
-  std::map<std::string, std::unique_ptr<CachedMatrix>> matrices_;
+  std::map<std::string, std::unique_ptr<VectorDataset>> datasets_
+      PMJOIN_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<CachedMatrix>> matrices_
+      PMJOIN_GUARDED_BY(mu_);
 };
 
 }  // namespace server

@@ -29,17 +29,17 @@ JoinServer::~JoinServer() { Shutdown(); }
 
 Status JoinServer::Start() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (started_) return Status::Internal("Start called twice");
     started_ = true;
+    server_start_io_ = disk_->stats();
   }
-  server_start_io_ = disk_->stats();
   worker_ = std::thread(&JoinServer::WorkerLoop, this);
   return Status::OK();
 }
 
 uint64_t JoinServer::Register(JobSpec* job) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const uint64_t index = results_.size();
   if (job->id.empty()) {
     char buf[32];
@@ -68,14 +68,14 @@ Result<uint64_t> JoinServer::Submit(const JobSpec& job_in) {
     rejected.row.status = "rejected";
     rejected.row.error = st.message();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       ++admission_stats_.rejected;
     }
     Finish(index, std::move(rejected));
     return st;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++admission_stats_.admitted;
   }
   return index;
@@ -97,39 +97,40 @@ Result<uint64_t> JoinServer::SubmitBlocking(const JobSpec& job_in) {
     rejected.row.status = "rejected";
     rejected.row.error = st.message();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       ++admission_stats_.rejected;
     }
     Finish(index, std::move(rejected));
     return st;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++admission_stats_.admitted;
   }
   return index;
 }
 
 const JoinServer::QueryResult& JoinServer::Wait(uint64_t index) {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this, index] {
-    return index < results_.size() && results_[index]->done;
-  });
+  MutexLock lock(&mu_);
+  while (index >= results_.size() || !results_[index]->done)
+    done_cv_.Wait(&mu_);
   return *results_[index];
 }
 
+bool JoinServer::AllDoneLocked() const {
+  for (const auto& result : results_)
+    if (!result->done) return false;
+  return true;
+}
+
 void JoinServer::WaitAll() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] {
-    for (const auto& result : results_)
-      if (!result->done) return false;
-    return true;
-  });
+  MutexLock lock(&mu_);
+  while (!AllDoneLocked()) done_cv_.Wait(&mu_);
 }
 
 void JoinServer::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (shut_down_) return;
     shut_down_ = true;
   }
@@ -266,14 +267,14 @@ void JoinServer::Execute(const QueuedQuery& queued) {
 void JoinServer::Finish(uint64_t index, QueryResult result) {
   result.done = true;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (result.row.status == "ok")
       ++admission_stats_.completed;
     else if (result.row.status == "failed")
       ++admission_stats_.failed;
     *results_[index] = std::move(result);
   }
-  done_cv_.notify_all();
+  done_cv_.NotifyAll();
 }
 
 ServerReport JoinServer::BuildReport() {
@@ -289,13 +290,13 @@ ServerReport JoinServer::BuildReport() {
   report.SetContext("norm", NormName(options_.norm));
   report.SetContext("seed", options_.seed);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& result : results_)
     if (result->done) report.AddQuery(result->row);
 
   report.SetIoTotals(disk_->stats().Delta(server_start_io_));
 
-  const ArtifactCache::Stats& cache_stats = cache_.stats();
+  const ArtifactCache::Stats cache_stats = cache_.stats();
   ServerReport::CacheStats cache_row;
   cache_row.dataset_hits = cache_stats.dataset_hits;
   cache_row.dataset_opens = cache_stats.dataset_opens;

@@ -1,10 +1,8 @@
 #ifndef PMJOIN_SERVER_SERVER_H_
 #define PMJOIN_SERVER_SERVER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -12,6 +10,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "core/join_driver.h"
 #include "geom/distance.h"
 #include "io/buffer_pool.h"
@@ -102,41 +101,41 @@ class JoinServer {
   /// failures and a full queue reject synchronously (BufferFull for the
   /// latter); rejected jobs still get an index and a "rejected" result
   /// row. Thread-safe.
-  Result<uint64_t> Submit(const JobSpec& job);
+  Result<uint64_t> Submit(const JobSpec& job) PMJOIN_EXCLUDES(mu_);
 
   /// Like Submit, but blocks for queue space instead of rejecting
   /// (producer backpressure).
-  Result<uint64_t> SubmitBlocking(const JobSpec& job);
+  Result<uint64_t> SubmitBlocking(const JobSpec& job) PMJOIN_EXCLUDES(mu_);
 
   /// Blocks until query `index` completes; the reference stays valid for
   /// the server's lifetime.
-  const QueryResult& Wait(uint64_t index);
+  const QueryResult& Wait(uint64_t index) PMJOIN_EXCLUDES(mu_);
 
   /// Blocks until every submitted query has completed.
-  void WaitAll();
+  void WaitAll() PMJOIN_EXCLUDES(mu_);
 
   /// Closes the queue, drains the remaining queries, and joins the
   /// worker. Idempotent; the destructor calls it.
-  void Shutdown();
+  void Shutdown() PMJOIN_EXCLUDES(mu_);
 
   /// Aggregate report over everything submitted so far. Call after
   /// WaitAll/Shutdown for a complete picture.
-  ServerReport BuildReport();
+  ServerReport BuildReport() PMJOIN_EXCLUDES(mu_);
 
-  const ArtifactCache::Stats& cache_stats() const {
-    return cache_.stats();
-  }
+  ArtifactCache::Stats cache_stats() const { return cache_.stats(); }
   const Options& options() const { return options_; }
 
  private:
   /// Worker loop: pops until the queue closes and drains.
   void WorkerLoop();
   /// Executes one admitted query inside its own obs session.
-  void Execute(const QueuedQuery& queued);
+  void Execute(const QueuedQuery& queued) PMJOIN_EXCLUDES(mu_);
   /// Records a terminal state for query `index` and wakes waiters.
-  void Finish(uint64_t index, QueryResult result);
+  void Finish(uint64_t index, QueryResult result) PMJOIN_EXCLUDES(mu_);
   /// Allocates the next result slot; fills id if empty.
-  uint64_t Register(JobSpec* job);
+  uint64_t Register(JobSpec* job) PMJOIN_EXCLUDES(mu_);
+  /// True when every allocated result slot has completed.
+  bool AllDoneLocked() const PMJOIN_REQUIRES(mu_);
 
   StorageBackend* disk_;
   Options options_;
@@ -146,14 +145,13 @@ class JoinServer {
   BufferPool pool_;
   JoinDriver driver_;
 
-  IoStats server_start_io_;
-
-  mutable std::mutex mu_;
-  std::condition_variable done_cv_;
-  std::vector<std::unique_ptr<QueryResult>> results_;
-  ServerReport::AdmissionStats admission_stats_;
-  bool started_ = false;
-  bool shut_down_ = false;
+  mutable Mutex mu_{lock_rank::kServer, "JoinServer::mu_"};
+  CondVar done_cv_;
+  IoStats server_start_io_ PMJOIN_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<QueryResult>> results_ PMJOIN_GUARDED_BY(mu_);
+  ServerReport::AdmissionStats admission_stats_ PMJOIN_GUARDED_BY(mu_);
+  bool started_ PMJOIN_GUARDED_BY(mu_) = false;
+  bool shut_down_ PMJOIN_GUARDED_BY(mu_) = false;
 
   std::thread worker_;
 };

@@ -31,6 +31,12 @@ Rules (see DESIGN.md "Invariants & checking"):
                     control-plane job-file/report handling — everything
                     else must do its I/O through a StorageBackend so every
                     byte is both modeled and measured.
+  sync-primitives   All locking in src/ goes through the annotated wrappers
+                    in src/common/sync.h (Mutex, MutexLock, CondVar) so
+                    Clang thread-safety analysis and the paranoid lock-rank
+                    checker see every acquisition: raw std::mutex,
+                    std::condition_variable, std::lock_guard & friends are
+                    banned in src/ outside src/common/sync.{h,cc}.
   kernel-dispatch   Instruction-set selection is an implementation detail
                     of the batch distance kernels: src/ code must reach
                     them through geom/distance_kernels.h, so __AVX2__,
@@ -78,6 +84,8 @@ KERNEL_DISPATCH_ALLOWED = (
     "src/geom/distance_kernels.h",
     "src/geom/distance_kernels.cc",
 )
+SYNC_PRIMITIVES_DIR = "src"
+SYNC_PRIMITIVES_ALLOWED = ("src/common/sync.h", "src/common/sync.cc")
 
 THROW_RE = re.compile(r"\b(throw|try|catch)\b")
 DETERMINISM_RE = re.compile(
@@ -95,6 +103,11 @@ FILE_IO_RE = re.compile(
     r"|pwritev)\s*\(")
 KERNEL_DISPATCH_RE = re.compile(
     r"(__AVX2__|immintrin\.h|\b_mm\d*_\w+|\b(?:FloatStat)?Avx2\w*)")
+SYNC_PRIMITIVES_RE = re.compile(
+    r"\bstd::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|condition_variable"
+    r"|condition_variable_any|lock_guard|unique_lock|scoped_lock"
+    r"|shared_lock)\b")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
 GUARD_RE = re.compile(r"^\s*#\s*ifndef\s+(\S+)")
 
@@ -221,6 +234,16 @@ def lint_file(root, rel_path):
                     f"'{m.group(0).strip()}': unseeded nondeterminism; route "
                     "all randomness through a seeded pmjoin::Rng "
                     "(src/common/rng.h)"))
+        if (in_dirs(rel_path, (SYNC_PRIMITIVES_DIR,))
+                and rel_path not in SYNC_PRIMITIVES_ALLOWED):
+            m = SYNC_PRIMITIVES_RE.search(line)
+            if m:
+                findings.append(Finding(
+                    rel_path, lineno, "sync-primitives",
+                    f"'{m.group(0)}': raw sync primitive outside "
+                    "src/common/sync.*; use the annotated Mutex / MutexLock "
+                    "/ CondVar wrappers (common/sync.h) so thread-safety "
+                    "analysis and the lock-rank checker see it"))
         if (in_dirs(rel_path, WALL_CLOCK_DIRS)
                 and rel_path not in WALL_CLOCK_ALLOWED):
             m = WALL_CLOCK_RE.search(line)

@@ -39,6 +39,19 @@ struct ExecutorOptions {
   /// (must have >= 1 thread). When null and num_threads > 1, the call
   /// creates a transient pool of num_threads workers.
   ThreadPool* thread_pool = nullptr;
+
+  /// Dedicated I/O threads for the async read pipeline (0, the default,
+  /// keeps every physical read synchronous). When > 0 and the backend
+  /// supports staging (FileBackend), cluster k+1's non-resident pages are
+  /// *physically* read in the background — in the same seek-optimal
+  /// schedule order — while cluster k is joined, then consumed by the
+  /// normal PinBatch at its usual position. Ledger-neutral by
+  /// construction: the modeled IoStats are charged at consumption exactly
+  /// as in the synchronous run; only the wall-clock timing of the bytes
+  /// changes. Independent of num_threads (works with the serial executor)
+  /// and of prefetch_next_cluster (the feasibility gate still decides
+  /// whether pages are *pinned* early; staging never pins).
+  uint32_t io_threads = 0;
 };
 
 /// In-memory join of a range of marked entries: calls

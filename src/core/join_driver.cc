@@ -132,6 +132,7 @@ Status RunMatrixAlgorithm(const JoinInput& input,
       }
       ExecutorOptions exec_options;
       exec_options.num_threads = options.num_threads;
+      exec_options.io_threads = options.io_threads;
       return ExecuteClusteredJoin(input, clusters, order, &pool, sink, ops,
                                   exec_options);
     }

@@ -73,6 +73,13 @@ struct JoinOptions {
   /// produces the identical result pairs, CPU counters, and simulated
   /// IoStats — parallelism only changes wall-clock time.
   uint32_t num_threads = 1;
+
+  /// Dedicated I/O threads for the clustered executor's async read
+  /// pipeline (SC / rand-SC / CC on a staging-capable backend; see
+  /// core/executor.h). 0 = synchronous reads. Like num_threads, any value
+  /// produces identical result pairs, CPU counters, and modeled IoStats —
+  /// only the wall-clock timing of the physical reads changes.
+  uint32_t io_threads = 0;
 };
 
 class BufferPool;

@@ -1,0 +1,81 @@
+#include "io/async_reader.h"
+
+#include <thread>
+#include <utility>
+
+namespace pmjoin {
+
+AsyncReader::AsyncReader(StorageBackend* backend, uint32_t num_threads,
+                         size_t queue_capacity)
+    : backend_(backend),
+      num_threads_(num_threads == 0 ? 1 : num_threads),
+      capacity_(queue_capacity == 0 ? 1 : queue_capacity),
+      pool_(num_threads_) {
+  for (uint32_t i = 0; i < num_threads_; ++i) {
+    pool_.Submit([this] { ReaderLoop(); });
+  }
+}
+
+AsyncReader::~AsyncReader() {
+  {
+    MutexLock lock(&mu_);
+    closed_ = true;
+  }
+  cv_ready_.NotifyAll();
+  cv_space_.NotifyAll();
+  // pool_'s destructor joins the reader threads; queued runs that no
+  // thread reached stay pending in the backend's staging table.
+}
+
+size_t AsyncReader::SubmitBatch(std::span<const PageRun> runs) {
+  std::vector<PageRun> accepted;
+  accepted.reserve(runs.size());
+  for (const PageRun& run : runs) {
+    if (run.length == 0) continue;
+    if (backend_->BeginStage(run.start, run.length)) accepted.push_back(run);
+  }
+  if (accepted.empty()) return 0;
+  const size_t count = accepted.size();
+  {
+    MutexLock lock(&mu_);
+    while (queue_.size() >= capacity_ && !closed_) cv_space_.Wait(&mu_);
+    // On shutdown the registered runs stay pending in the staging table;
+    // DropStaged (or a synchronous ReadPages) reclaims them.
+    if (closed_) return 0;
+    queue_.push_back(std::move(accepted));
+  }
+  cv_ready_.NotifyOne();
+  // Give the woken reader a scheduling slot before racing it to the next
+  // consume. On a loaded (or single-CPU) machine the wake alone does not
+  // preempt the coordinator, which then reaches ReadPages while the run
+  // is still pending and claims it back synchronously — losing exactly
+  // the overlap the submission was for. One yield is a few hundred
+  // nanoseconds; a claimed-back run is a full synchronous read.
+  std::this_thread::yield();
+  return count;
+}
+
+bool AsyncReader::Submit(const PageRun& run) {
+  return SubmitBatch({&run, 1}) == 1;
+}
+
+void AsyncReader::ReaderLoop() {
+  for (;;) {
+    std::vector<PageRun> batch;
+    {
+      MutexLock lock(&mu_);
+      while (queue_.empty() && !closed_) cv_ready_.Wait(&mu_);
+      if (closed_) return;
+      batch = std::move(queue_.front());
+      queue_.pop_front();
+      cv_space_.NotifyOne();
+    }
+    // Mutex released: the physical reads (and their metric mirrors)
+    // never run under the queue lock.
+    for (const PageRun& run : batch) {
+      backend_->PerformStage(run.start, run.length);
+    }
+  }
+}
+
+}  // namespace pmjoin

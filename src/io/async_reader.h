@@ -1,0 +1,94 @@
+#ifndef PMJOIN_IO_ASYNC_READER_H_
+#define PMJOIN_IO_ASYNC_READER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "common/sync.h"
+#include "common/thread_pool.h"
+#include "io/disk_scheduler.h"
+#include "io/storage_backend.h"
+
+namespace pmjoin {
+
+/// Asynchronous read pipeline over a staging-capable `StorageBackend`:
+/// N dedicated I/O threads service page-read requests from a bounded
+/// request queue, physically reading each run into the backend's staging
+/// buffers (`PerformStage`). The coordinator later consumes the staged
+/// bytes through the ordinary `ReadPages` path — which is also where the
+/// modeled `IoStats` are charged, so the async pipeline changes *when*
+/// physical bytes move but never what the ledger records.
+///
+/// Requests are submitted as *batches* (one queue operation and at most
+/// one thread wake per batch, not per run — schedules are dominated by
+/// short runs, so per-run wakes would cost more than the reads they
+/// move). A batch is serviced by one thread in submission order, so
+/// submitting contiguous slices of a seek-optimal schedule keeps each
+/// thread's physical access pattern seek-optimal (with one I/O thread it
+/// is exactly the serial pattern, just earlier).
+///
+/// Thread-safety: `Submit` and destruction are coordinator-only; the
+/// reader threads touch the backend solely through `PerformStage`. The
+/// queue mutex holds rank `lock_rank::kAsyncReader` and is never held
+/// across a backend call. Destroying the reader joins the I/O threads;
+/// runs still queued are simply abandoned (they stay registered as
+/// pending in the backend until consumed or `DropStaged`).
+class AsyncReader {
+ public:
+  /// Bound on queued (not-yet-started) batches; a full queue blocks
+  /// SubmitBatch, which backpressures the coordinator's staging loop.
+  static constexpr size_t kDefaultQueueCapacity = 128;
+
+  /// Spawns `num_threads` (>= 1 enforced) reader threads over `backend`,
+  /// which must outlive this object and support staging.
+  AsyncReader(StorageBackend* backend, uint32_t num_threads,
+              size_t queue_capacity = kDefaultQueueCapacity);
+  ~AsyncReader();
+
+  AsyncReader(const AsyncReader&) = delete;
+  AsyncReader& operator=(const AsyncReader&) = delete;
+
+  /// Registers each run of `runs` with the backend's staging table and
+  /// enqueues the accepted ones as one work item for a reader thread.
+  /// Runs the backend declines (empty, no staging support, invalid
+  /// range, or a run with the same start already registered) are skipped
+  /// — the caller's later `ReadPages` for those simply reads
+  /// synchronously. Returns how many runs were accepted. Blocks while
+  /// the queue is at capacity.
+  size_t SubmitBatch(std::span<const PageRun> runs) PMJOIN_EXCLUDES(mu_);
+
+  /// Single-run convenience wrapper around SubmitBatch.
+  bool Submit(const PageRun& run) PMJOIN_EXCLUDES(mu_);
+
+  uint32_t num_threads() const { return num_threads_; }
+
+ private:
+  /// Body of one reader thread: pop, PerformStage, repeat until closed.
+  void ReaderLoop() PMJOIN_EXCLUDES(mu_);
+
+  StorageBackend* const backend_;
+  const uint32_t num_threads_;
+  const size_t capacity_;
+
+  Mutex mu_{lock_rank::kAsyncReader, "AsyncReader::mu_"};
+  /// Signaled when a batch is enqueued (readers wait on it). Separate
+  /// from `cv_space_` so a push wakes exactly one idle reader and never
+  /// the submitter.
+  CondVar cv_ready_;
+  /// Signaled when a batch is dequeued (a capacity-blocked SubmitBatch
+  /// waits on it).
+  CondVar cv_space_;
+  std::deque<std::vector<PageRun>> queue_ PMJOIN_GUARDED_BY(mu_);
+  bool closed_ PMJOIN_GUARDED_BY(mu_) = false;
+
+  /// Declared last: its destructor joins the reader threads while the
+  /// queue state above is still alive.
+  ThreadPool pool_;
+};
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_IO_ASYNC_READER_H_

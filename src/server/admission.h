@@ -32,7 +32,9 @@ struct QueuedQuery {
 ///     this at parse time; re-checked for programmatic submissions),
 ///   - its buffer_pages (explicit or server default) fits the shared
 ///     pool, so the query cannot deadlock on pool capacity,
-///   - num_threads is at most max_threads.
+///   - num_threads is at most max_threads,
+///   - io_threads (explicit or server default; the async read pipeline's
+///     dedicated reader threads) is at most max_io_threads.
 class AdmissionController {
  public:
   struct Options {
@@ -40,6 +42,8 @@ class AdmissionController {
     uint32_t default_buffer_pages = 100;
     uint32_t default_threads = 1;
     uint32_t max_threads = 64;
+    uint32_t default_io_threads = 0;    ///< 0 = synchronous reads.
+    uint32_t max_io_threads = 16;
   };
 
   explicit AdmissionController(Options options) : options_(options) {}

@@ -56,6 +56,7 @@ struct JobSpec {
   Algorithm engine = Algorithm::kSc;
   uint32_t buffer_pages = 0;  ///< 0 = server default.
   uint32_t num_threads = 0;   ///< 0 = server default.
+  uint32_t io_threads = 0;    ///< 0 = server default (which may be 0 = sync).
 };
 
 /// Parses an engine token ("nlj", "pm-nlj", "rand-sc", "sc", "cc";
@@ -73,7 +74,8 @@ std::string EngineToken(Algorithm algorithm);
 ///    "eps": 0.01, "engine": "sc"}
 ///
 /// Recognized keys: cmd (optional, must be "submit"), id, r, s, eps,
-/// engine, buffer_pages, threads. `r`, `s`, and `eps` are required.
+/// engine, buffer_pages, threads, io_threads. `r`, `s`, and `eps` are
+/// required.
 /// Returns nullopt for blank lines and `#` comments. The JSON subset is
 /// flat (scalar values only) — see docs/SERVER.md for the grammar.
 Result<std::optional<JobSpec>> ParseJobLine(const std::string& line);

@@ -16,7 +16,8 @@ JoinServer::JoinServer(StorageBackend* disk, Options options)
       options_(options),
       admission_(AdmissionController::Options{
           options.pool_pages, options.default_buffer_pages,
-          options.default_threads, options.max_threads}),
+          options.default_threads, options.max_threads,
+          options.default_io_threads, options.max_io_threads}),
       queue_(options.max_queue_depth),
       cache_(disk, ArtifactCache::Options{
                        options.page_size_bytes, options.persist_datasets,
@@ -200,6 +201,7 @@ void JoinServer::Execute(const QueuedQuery& queued) {
     join_options.seed = options_.seed;
     join_options.page_size_bytes = options_.page_size_bytes;
     join_options.num_threads = job.num_threads;
+    join_options.io_threads = job.io_threads;
 
     JoinResources resources;
     resources.shared_pool = &pool_;

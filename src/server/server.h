@@ -60,6 +60,11 @@ class JoinServer {
     uint32_t default_buffer_pages = 100;
     uint32_t default_threads = 1;
     uint32_t max_threads = 64;
+    /// JoinOptions::io_threads when the job does not set one (async read
+    /// pipeline; 0 = synchronous reads, the meaningful default on the
+    /// simulated backend, which has no physical reads to overlap).
+    uint32_t default_io_threads = 0;
+    uint32_t max_io_threads = 16;
     size_t max_queue_depth = 64;
     uint32_t page_size_bytes = 4096;
     Norm norm = Norm::kL2;

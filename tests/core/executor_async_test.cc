@@ -1,0 +1,250 @@
+// Concordance guarantees of the async read pipeline
+// (ExecutorOptions::io_threads): for any combination of worker count, I/O
+// thread count, and storage backend, the emitted pair sequence, the
+// aggregated OpCounters, and the *modeled* IoStats must be byte-identical
+// to the synchronous serial run — the async reader may only change when
+// physical bytes move, never what the ledger records. Plus fault
+// injection: a corrupt page read by the async reader must surface as
+// Status::Corruption through ExecuteClusteredJoin with full pin rollback
+// and an empty staging table.
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/executor.h"
+#include "core/joiners.h"
+#include "core/plane_sweep.h"
+#include "core/prediction_matrix.h"
+#include "core/scheduler.h"
+#include "core/square_clustering.h"
+#include "data/generators.h"
+#include "data/vector_dataset.h"
+#include "io/file_backend.h"
+#include "io/simulated_disk.h"
+
+namespace pmjoin {
+namespace {
+
+/// A fresh scratch directory under the gtest temp dir (removed up front so
+/// reruns start clean).
+std::string ScratchDir(const char* tag) {
+  const std::string dir = ::testing::TempDir() + "pmjoin-exatest-" +
+                          std::to_string(::getpid()) + "-" + tag;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return dir;
+}
+
+/// Path of `file`'s page file inside the backend directory.
+std::string PagePath(const FileBackend& backend, uint32_t file) {
+  char prefix[16];
+  std::snprintf(prefix, sizeof(prefix), "pf%06u_", file);
+  for (const auto& entry :
+       std::filesystem::directory_iterator(backend.directory())) {
+    if (entry.path().filename().string().rfind(prefix, 0) == 0)
+      return entry.path().string();
+  }
+  return {};
+}
+
+/// Flips one bit at byte `offset` of `path`.
+void FlipBit(const std::string& path, uint64_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open()) << path;
+  f.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&byte, 1);
+}
+
+/// tests/join_test_util.h's SmallVectorJoin, but over a caller-supplied
+/// backend so the same workload runs on the simulated and the file
+/// backend. Page size is tiny so small inputs span many pages.
+class BackendVectorJoin {
+ public:
+  BackendVectorJoin(std::unique_ptr<StorageBackend> disk, size_t nr,
+                    size_t ns, uint64_t seed, double eps,
+                    uint32_t page_bytes = 64)
+      : disk_(std::move(disk)) {
+    const VectorData r_raw = GenRoadNetwork(nr, seed);
+    const VectorData s_raw = GenRoadNetwork(ns, seed + 1000);
+    VectorDataset::Options options;
+    options.page_size_bytes = page_bytes;
+    r_.emplace(VectorDataset::Build(disk_.get(), "r", r_raw, options).value());
+    s_.emplace(VectorDataset::Build(disk_.get(), "s", s_raw, options).value());
+    joiner_.emplace(&*r_, &*s_, eps, Norm::kL2, /*self_join=*/false);
+    input_.r_file = r_->file_id();
+    input_.s_file = s_->file_id();
+    input_.r_pages = r_->num_pages();
+    input_.s_pages = s_->num_pages();
+    input_.self_join = false;
+    input_.joiner = &*joiner_;
+    matrix_.emplace(BuildPredictionMatrixFlat(
+        r_->page_mbrs(), s_->page_mbrs(), eps, Norm::kL2, nullptr));
+  }
+
+  StorageBackend& disk() { return *disk_; }
+  const JoinInput& input() const { return input_; }
+  const PredictionMatrix& matrix() const { return *matrix_; }
+
+ private:
+  std::unique_ptr<StorageBackend> disk_;
+  std::optional<VectorDataset> r_, s_;
+  std::optional<VectorPairJoiner> joiner_;
+  JoinInput input_;
+  std::optional<PredictionMatrix> matrix_;
+};
+
+struct RunResult {
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
+  IoStats io;
+  OpCounters ops;
+  Status status = Status::OK();
+};
+
+RunResult RunOnce(BackendVectorJoin& fixture,
+                  const std::vector<Cluster>& clusters,
+                  const std::vector<uint32_t>& order, uint32_t buffer,
+                  uint32_t num_threads, uint32_t io_threads) {
+  RunResult result;
+  const IoStats io_before = fixture.disk().stats();
+  BufferPool pool(&fixture.disk(), buffer);
+  CollectingSink sink;
+  ExecutorOptions options;
+  options.num_threads = num_threads;
+  options.io_threads = io_threads;
+  result.status = ExecuteClusteredJoin(fixture.input(), clusters, order,
+                                       &pool, &sink, &result.ops, options);
+  result.pairs = sink.pairs();
+  result.io = fixture.disk().stats().Delta(io_before);
+  return result;
+}
+
+constexpr size_t kNr = 400;
+constexpr size_t kNs = 350;
+constexpr uint64_t kSeed = 21;
+constexpr double kEps = 0.05;
+constexpr uint32_t kBuffer = 10;
+
+TEST(ExecutorAsyncTest, ConcordanceAcrossBackendsWorkersAndIoThreads) {
+  // The cross-backend reference: pairs/ops/modeled-IoStats of the
+  // synchronous serial run, which must be identical on both backends (the
+  // base class owns the model) and at every (worker, io-thread) point.
+  std::optional<RunResult> reference;
+
+  for (const bool file_backend : {false, true}) {
+    std::unique_ptr<StorageBackend> disk;
+    if (file_backend) {
+      disk = FileBackend::Open(ScratchDir("concordance")).value();
+    } else {
+      disk = std::make_unique<SimulatedDisk>();
+    }
+    BackendVectorJoin fixture(std::move(disk), kNr, kNs, kSeed, kEps);
+    const auto clusters =
+        SquareClustering(fixture.matrix(), kBuffer, nullptr);
+    ASSERT_GT(clusters.size(), 1u);
+    const auto order = ScheduleClusters(clusters, fixture.input(), nullptr);
+
+    // One warm-up run pins the disk-head start position, so every timed
+    // run below begins from the same modeled state.
+    ASSERT_TRUE(
+        RunOnce(fixture, clusters, order, kBuffer, 1, 0).status.ok());
+
+    const RunResult baseline =
+        RunOnce(fixture, clusters, order, kBuffer, 1, 0);
+    ASSERT_TRUE(baseline.status.ok());
+    ASSERT_FALSE(baseline.pairs.empty());
+    if (!reference.has_value()) {
+      reference = baseline;
+    } else {
+      // Modeled I/O is byte-identical across backends by construction.
+      EXPECT_EQ(baseline.pairs, reference->pairs) << "backend mismatch";
+      EXPECT_EQ(baseline.io, reference->io) << "backend mismatch";
+      EXPECT_EQ(baseline.ops, reference->ops) << "backend mismatch";
+    }
+
+    for (const uint32_t workers : {1u, 8u}) {
+      for (const uint32_t io_threads : {0u, 1u, 2u, 4u}) {
+        const RunResult run = RunOnce(fixture, clusters, order, kBuffer,
+                                      workers, io_threads);
+        const std::string where =
+            std::string(file_backend ? "file" : "sim") + " workers=" +
+            std::to_string(workers) + " io=" + std::to_string(io_threads);
+        ASSERT_TRUE(run.status.ok()) << where << ": " << run.status.message();
+        EXPECT_EQ(run.pairs, reference->pairs) << where;
+        EXPECT_EQ(run.io, reference->io) << where;
+        EXPECT_EQ(run.ops, reference->ops) << where;
+        EXPECT_EQ(fixture.disk().StagedCount(), 0u) << where;
+      }
+    }
+  }
+}
+
+TEST(ExecutorAsyncTest, CorruptStagedPageSurfacesWithFullRollback) {
+  auto opened = FileBackend::Open(ScratchDir("corrupt"),
+                                  FileBackend::Options());
+  ASSERT_TRUE(opened.ok());
+  FileBackend* fb = opened.value().get();
+  BackendVectorJoin fixture(std::move(opened).value(), kNr, kNs, kSeed,
+                            kEps);
+  const auto clusters = SquareClustering(fixture.matrix(), kBuffer, nullptr);
+  ASSERT_GT(clusters.size(), 2u);
+  const auto order = ScheduleClusters(clusters, fixture.input(), nullptr);
+
+  // Corrupt a page that the *last* cluster needs and the *first* does not:
+  // its first physical read happens for some cluster k >= 1, i.e. on the
+  // async pipeline (every cluster after the first has its miss runs
+  // staged ahead of time).
+  const auto last_pages =
+      ClusterPageSet(clusters[order.back()], fixture.input());
+  const auto first_pages =
+      ClusterPageSet(clusters[order.front()], fixture.input());
+  std::optional<PageId> victim;
+  for (const PageId pid : last_pages) {
+    bool in_first = false;
+    for (const PageId other : first_pages) in_first |= (other == pid);
+    if (!in_first) {
+      victim = pid;
+      break;
+    }
+  }
+  ASSERT_TRUE(victim.has_value());
+  const std::string path = PagePath(*fb, victim->file);
+  ASSERT_FALSE(path.empty());
+  FlipBit(path,
+          FileBackend::SlotOffset(fb->page_size_bytes(), victim->page) + 3);
+
+  for (const uint32_t workers : {1u, 8u}) {
+    BufferPool pool(&fixture.disk(), kBuffer);
+    CollectingSink sink;
+    ExecutorOptions options;
+    options.num_threads = workers;
+    options.io_threads = 2;
+    const Status st = ExecuteClusteredJoin(fixture.input(), clusters, order,
+                                           &pool, &sink, nullptr, options);
+    EXPECT_TRUE(st.IsCorruption()) << "workers=" << workers << ": "
+                                   << st.message();
+    // Full unwind: no leaked pins, a consistent pool, and an empty staging
+    // table (ExecuteClusteredJoin drops staged runs on every exit path).
+    EXPECT_EQ(pool.PinnedCount(), 0u) << "workers=" << workers;
+    EXPECT_TRUE(pool.ValidateInvariants().ok()) << "workers=" << workers;
+    EXPECT_EQ(fixture.disk().StagedCount(), 0u) << "workers=" << workers;
+  }
+}
+
+}  // namespace
+}  // namespace pmjoin

@@ -4,10 +4,17 @@
 Reads the artifact emitted by `bench_kernels --json` — either the current
 pmjoin.run_report.v1 object (table rows under its "rows" array) or the
 legacy JSON Lines stream — from a baseline file and a current run,
-matches `"table": "distance_kernels"` rows by label (e.g. "L2/d16"), and
-compares tiled-kernel throughput (`terms_s_tiled`). Labels or metrics
-present in only one file are skipped with a warning, so a baseline
-regenerated under an older schema keeps comparing on the rows it has.
+matches rows of the known tables by (table, label), and compares each
+table's throughput metric:
+
+    distance_kernels   terms_s_tiled   (tiled-kernel throughput)
+    cluster_join_file  records_s       (file-backend cluster-join
+                                        wall-clock throughput, sync and
+                                        async read-pipeline rows)
+
+Labels or metrics present in only one file are skipped with a warning, so
+a baseline regenerated under an older schema keeps comparing on the rows
+it has.
 
 The check is deliberately loose: CI runners are noisy, so only a
 catastrophic regression — current throughput below baseline / THRESHOLD
@@ -16,8 +23,17 @@ only one file, is reported but tolerated. This makes the bench-smoke CI
 job a tripwire for "the kernels fell off a cliff" (e.g. vectorization
 silently disabled), not a perf gate.
 
+One additional intra-run tripwire guards the async read pipeline: within
+the *current* run's cluster_join_file table, the best async row must not
+fall below the sync row by more than the threshold. That comparison is
+between two rows of the same run on the same machine, so it is immune to
+host-speed differences and catches the failure mode where the pipeline
+still produces correct results but silently serializes (every staged run
+claimed back, wall-clock collapsing to sync plus staging overhead).
+
 Usage: tools/bench_compare.py BASELINE.json CURRENT.json [--threshold X]
-Exits non-zero iff any label regressed by more than the threshold.
+Exits non-zero iff any label regressed by more than the threshold, or the
+async tripwire fired.
 """
 
 import argparse
@@ -25,11 +41,15 @@ import json
 import os
 import sys
 
-METRIC = "terms_s_tiled"
+# Throughput metric per table; rows of other tables are ignored.
+TABLE_METRICS = {
+    "distance_kernels": "terms_s_tiled",
+    "cluster_join_file": "records_s",
+}
 
 
 def load_rows(path):
-    """Returns {label: row} for distance_kernels data rows.
+    """Returns {(table, label): row} for data rows of the known tables.
 
     Accepts both artifact formats: a pmjoin.run_report.v1 object (rows in
     its "rows" array) and the legacy JSON Lines stream (one object per
@@ -44,9 +64,9 @@ def load_rows(path):
         for row in records:
             if not isinstance(row, dict):
                 continue
-            if row.get("table") != "distance_kernels" or "label" not in row:
+            if row.get("table") not in TABLE_METRICS or "label" not in row:
                 continue
-            rows[row["label"]] = row
+            rows[(row["table"], row["label"])] = row
         return rows
 
     try:
@@ -76,6 +96,46 @@ def load_rows(path):
     return collect(records)
 
 
+def sort_key(key):
+    """Distance-kernel labels group by dimension ("L2/d16" -> "d16");
+    other tables sort by plain label."""
+    table, label = key
+    if table == "distance_kernels" and "/" in label:
+        return (table, label.split("/")[1], label)
+    return (table, label)
+
+
+def check_async_tripwire(curr, threshold):
+    """Intra-run collapse check: in `curr`'s cluster_join_file table, the
+    best async row's records_s must be at least sync's / threshold.
+    Returns an error string, or None if the check passes or does not
+    apply (no sync or no async rows — e.g. an older binary)."""
+    sync = curr.get(("cluster_join_file", "sync"))
+    async_rows = {label: row for (table, label), row in curr.items()
+                  if table == "cluster_join_file"
+                  and label.startswith("async")}
+    if sync is None or "records_s" not in sync or not async_rows:
+        return None
+    sync_rate = float(sync["records_s"])
+    best_label, best_rate = None, -1.0
+    for label, row in async_rows.items():
+        if "records_s" not in row:
+            continue
+        rate = float(row["records_s"])
+        if rate > best_rate:
+            best_label, best_rate = label, rate
+    if best_label is None or best_rate <= 0:
+        return ("async rows carry no records_s"
+                if best_label is None else
+                f"async path produced no throughput ({best_label})")
+    if sync_rate > best_rate * threshold:
+        return (f"async read pipeline collapsed: best async row "
+                f"{best_label} ({best_rate:.4g} records/s) is "
+                f"{sync_rate / best_rate:.1f}x below sync "
+                f"({sync_rate:.4g} records/s) in the same run")
+    return None
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("baseline", help="committed baseline JSONL")
@@ -99,42 +159,56 @@ def main():
     base = load_rows(args.baseline)
     curr = load_rows(args.current)
     if not base:
-        print(f"error: no distance_kernels rows in {args.baseline}",
+        print(f"error: no benchmark rows in {args.baseline}",
               file=sys.stderr)
         return 2
     if not curr:
-        print(f"error: no distance_kernels rows in {args.current}",
+        print(f"error: no benchmark rows in {args.current}",
               file=sys.stderr)
         return 2
 
     regressions = []
-    print(f"{'label':<10} {'baseline':>12} {'current':>12} {'ratio':>7}")
-    for label in sorted(base, key=lambda l: (l.split("/")[1], l)):
-        if label not in curr:
-            print(f"{label:<10} {'(missing in current run)':>33}")
+    print(f"{'table':<18} {'label':<10} {'baseline':>12} {'current':>12} "
+          f"{'ratio':>7}")
+    for key in sorted(base, key=sort_key):
+        table, label = key
+        metric = TABLE_METRICS[table]
+        if key not in curr:
+            print(f"{table:<18} {label:<10} "
+                  f"{'(missing in current run)':>33}")
             continue
-        if METRIC not in base[label]:
-            print(f"{label:<10} warning: {METRIC} missing in baseline; "
-                  "skipped")
+        if metric not in base[key]:
+            print(f"{table:<18} {label:<10} warning: {metric} missing in "
+                  "baseline; skipped")
             continue
-        if METRIC not in curr[label]:
-            print(f"{label:<10} warning: {METRIC} missing in current run; "
-                  "skipped")
+        if metric not in curr[key]:
+            print(f"{table:<18} {label:<10} warning: {metric} missing in "
+                  "current run; skipped")
             continue
-        b = float(base[label][METRIC])
-        c = float(curr[label][METRIC])
+        b = float(base[key][metric])
+        c = float(curr[key][metric])
         ratio = b / c if c > 0 else float("inf")
         flag = "  << REGRESSION" if ratio > args.threshold else ""
-        print(f"{label:<10} {b:>12.4g} {c:>12.4g} {ratio:>7.2f}{flag}")
+        print(f"{table:<18} {label:<10} {b:>12.4g} {c:>12.4g} "
+              f"{ratio:>7.2f}{flag}")
         if ratio > args.threshold:
-            regressions.append((label, ratio))
-    for label in sorted(set(curr) - set(base)):
-        print(f"{label:<10} {'(new label, no baseline)':>33}")
+            regressions.append((f"{table}/{label}", ratio))
+    for table, label in sorted(set(curr) - set(base)):
+        print(f"{table:<18} {label:<10} {'(new label, no baseline)':>33}")
 
+    failed = False
     if regressions:
         names = ", ".join(f"{l} ({r:.1f}x)" for l, r in regressions)
-        print(f"\nbench_compare: {METRIC} regressed more than "
+        print(f"\nbench_compare: throughput regressed more than "
               f"{args.threshold}x vs baseline: {names}", file=sys.stderr)
+        failed = True
+
+    tripwire = check_async_tripwire(curr, args.threshold)
+    if tripwire is not None:
+        print(f"\nbench_compare: {tripwire}", file=sys.stderr)
+        failed = True
+
+    if failed:
         return 1
     print(f"\nbench_compare: OK ({len(base)} labels, threshold "
           f"{args.threshold}x)")

@@ -5,12 +5,13 @@
 // sweep. These guard the constants behind the CPU cost model
 // (common/cost_model.h).
 //
-// The binary also carries two harness sweeps run before the
+// The binary also carries three harness sweeps run before the
 // google-benchmark suite: the distance-kernel sweep (scalar reference vs
-// the batched kernel layer, per norm x dims) and the file-backend
-// cluster-join sweep (sync vs async read pipeline, wall-clock). In
-// --json mode both sweeps' rows are mirrored to BENCH_kernels.json so
-// CI's bench-smoke job can diff them against
+// the batched kernel layer, per norm x dims), the file-backend
+// cluster-join sweep (sync vs async read pipeline, wall-clock), and the
+// kNN-join sweep (adaptive-eps pruning vs brute-force page expansion at
+// k = 8). In --json mode the sweeps' rows are mirrored to
+// BENCH_kernels.json so CI's bench-smoke job can diff them against
 // bench/BENCH_kernels.baseline.json with tools/bench_compare.py.
 
 #include <benchmark/benchmark.h>
@@ -39,6 +40,7 @@
 #include "core/cost_clustering.h"
 #include "core/executor.h"
 #include "core/joiners.h"
+#include "core/knn_join.h"
 #include "core/plane_sweep.h"
 #include "core/scheduler.h"
 #include "core/square_clustering.h"
@@ -851,6 +853,127 @@ void RunClusterJoinFileSweep(const bench::BenchArgs&) {
   std::filesystem::remove_all("bench-cluster-join.tmp", ec);
 }
 
+// --- kNN-join sweep (pm-kNN vs brute force) ----------------------------
+//
+// The kNN engine's adaptive-eps pruning (core/knn_join.h) against the
+// brute-force expansion of every page pair, at k = 8 on the diagonal
+// clustered workload. Pruning is answer-preserving by construction, so
+// the per-row neighbor sequences must be byte-identical across rows —
+// the sweep aborts on divergence — and on clustered data the
+// candidate-matrix bound must actually cut modeled I/O: the pm_knn row's
+// pages_read has to come in strictly below brute force or the sweep
+// exits nonzero. Both tripwires run on every CI bench-smoke invocation;
+// records_s is the collapse metric tools/bench_compare.py watches.
+
+std::vector<std::pair<double, uint64_t>> FlattenNeighbors(
+    const KnnResultSink& results) {
+  std::vector<std::pair<double, uint64_t>> out;
+  for (uint64_t i = 0; i < results.num_records(); ++i) {
+    for (const KnnResultSink::Neighbor& nb : results.SortedNeighbors(i)) {
+      out.emplace_back(nb.stat, nb.id);
+    }
+  }
+  return out;
+}
+
+void RunKnnJoinSweep(const bench::BenchArgs& args) {
+  constexpr size_t kDims = 8;
+  constexpr uint32_t kK = 8;
+  constexpr uint32_t kBufferPages = 16;
+  const size_t n = args.quick ? 3000 : 12000;
+  const uint32_t reps = args.quick ? 2 : 4;
+
+  SimulatedDisk disk;
+  VectorDataset::Options ds_options;
+  ds_options.page_size_bytes = 1024;
+  const size_t per_page = ds_options.page_size_bytes / (kDims * sizeof(float));
+  // Different seeds on the two sides: blobs still align page-for-page
+  // (same diagonal centers), but no record pair is identical, so the
+  // k-th bound is a real distance rather than zero.
+  const VectorData r_raw = MakeDiagonalBlobs(n, kDims, per_page, 0xA11CE);
+  const VectorData s_raw = MakeDiagonalBlobs(n, kDims, per_page, 0xB0B);
+  auto r = VectorDataset::Build(&disk, "knn_r", r_raw, ds_options).value();
+  auto s = VectorDataset::Build(&disk, "knn_s", s_raw, ds_options).value();
+  const KnnCandidateMatrix matrix = KnnCandidateMatrix::Build(
+      r.page_mbrs(), s.page_mbrs(), Norm::kL2, nullptr);
+
+  bench::PrintTableHeader(
+      "knn_join",
+      {"records_s", "wall_ms", "pages_read", "distance_terms",
+       "result_pairs"});
+
+  struct RowConfig {
+    const char* label;
+    bool prune;
+  };
+  constexpr RowConfig kRows[] = {{"pm_knn", true}, {"brute", false}};
+  std::optional<std::vector<std::pair<double, uint64_t>>> pm_answers;
+  uint64_t pm_pages = 0;
+  for (const RowConfig& cfg : kRows) {
+    KnnJoinOptions options;
+    options.k = kK;
+    options.norm = Norm::kL2;
+    options.prune = cfg.prune;
+
+    IoStats io_delta;
+    OpCounters ops;
+    uint64_t result_pairs = 0;
+    std::vector<std::pair<double, uint64_t>> answers;
+    int64_t wall_ns = 0;
+    for (uint32_t rep = 0; rep < reps; ++rep) {
+      KnnResultSink results(r.num_records(), kK);
+      BufferPool pool(&disk, kBufferPages);
+      ops = OpCounters{};
+      const IoStats io_before = disk.stats();
+      const int64_t t0 = obs::MonotonicNanos();
+      const Status status =
+          KnnJoinVectors(r, s, matrix, options, &pool, &results, &ops);
+      wall_ns += obs::MonotonicNanos() - t0;
+      if (!status.ok()) {
+        std::fprintf(stderr, "knn_join[%s]: %s\n", cfg.label,
+                     status.ToString().c_str());
+        return;
+      }
+      io_delta = disk.stats().Delta(io_before);
+      CountingSink sink;
+      result_pairs = results.Emit(&sink, nullptr);
+      if (rep == 0) answers = FlattenNeighbors(results);
+    }
+
+    if (!pm_answers.has_value()) {
+      pm_answers = std::move(answers);
+      pm_pages = io_delta.pages_read;
+    } else {
+      if (*pm_answers != answers) {
+        std::fprintf(stderr,
+                     "FATAL: knn_join: %s neighbor sets diverge from "
+                     "pm_knn (pruning must be answer-preserving)\n",
+                     cfg.label);
+        std::exit(1);
+      }
+      if (pm_pages >= io_delta.pages_read) {
+        std::fprintf(
+            stderr,
+            "FATAL: knn_join: pm_knn read %llu pages but %s read %llu "
+            "(pruning must strictly cut modeled I/O on clustered data)\n",
+            static_cast<unsigned long long>(pm_pages), cfg.label,
+            static_cast<unsigned long long>(io_delta.pages_read));
+        std::exit(1);
+      }
+    }
+
+    const double wall_s = static_cast<double>(wall_ns) * 1e-9;
+    const double records =
+        static_cast<double>(reps) * static_cast<double>(n);
+    char wall_ms[32];
+    std::snprintf(wall_ms, sizeof(wall_ms), "%.4g", wall_s * 1e3);
+    bench::PrintTableRow({cfg.label, FormatRate(records / wall_s), wall_ms,
+                          std::to_string(io_delta.pages_read),
+                          std::to_string(ops.distance_terms),
+                          std::to_string(result_pairs)});
+  }
+}
+
 }  // namespace
 }  // namespace pmjoin
 
@@ -868,6 +991,7 @@ int main(int argc, char** argv) {
   }
   pmjoin::RunKernelSweep(args);
   pmjoin::RunClusterJoinFileSweep(args);
+  pmjoin::RunKnnJoinSweep(args);
   pmjoin::bench::SetReportArtifact(nullptr);
   if (args.json) {
     report.CaptureSession();

@@ -6,11 +6,16 @@
 // Usage:
 //   pmjoin_cli [--data=road|clusters|uniform|dna|walk]
 //              [--algo=nlj|pm-nlj|rand-sc|sc|cc|ego|bfrj|pbsm]
-//              [--n=20000] [--dims=2] [--eps=0.01] [--edits=5]
+//              [--n=20000] [--dims=2] [--eps=0.01] [--k=0] [--edits=5]
 //              [--buffer=64] [--page=1024] [--window=500] [--self]
 //              [--seed=1] [--norm=l1|l2|linf]
 //              [--backend=sim|file] [--data-dir=DIR] [--io-threads=N]
 //              [--trace=FILE] [--report=FILE]
+//
+// --k=N switches the vector-data join from an ε-join to a kNN join: each
+// record of R is paired with its N nearest records of S under --norm
+// (JoinDriver::RunKnnJoin). --eps and --algo are ignored with --k; the
+// sequence datasets (dna, walk) have no kNN path.
 //
 // --backend selects the storage backend: `sim` (default) models I/O cost
 // only; `file` runs the identical pipeline against real page files under
@@ -65,6 +70,7 @@ struct CliArgs {
   size_t n = 20000;
   size_t dims = 2;
   double eps = 0.01;
+  uint32_t k = 0;  // 0 = ε-join; >= 1 = kNN join (vector data only).
   uint32_t edits = 5;
   uint32_t buffer = 64;
   uint32_t page = 1024;
@@ -104,6 +110,8 @@ std::optional<CliArgs> Parse(int argc, char** argv) {
       args.dims = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--eps", &value)) {
       args.eps = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--k", &value)) {
+      args.k = static_cast<uint32_t>(std::atoi(value.c_str()));
     } else if (ParseFlag(argv[i], "--edits", &value)) {
       args.edits = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "--buffer", &value)) {
@@ -303,8 +311,12 @@ int Run(const CliArgs& args) {
       }
       s.emplace(std::move(built).value());
     }
-    auto report = driver.RunVector(*r, args.self ? *r : *s, args.eps,
-                                   options, &sink);
+    auto report =
+        args.k > 0
+            ? driver.RunKnnJoin(*r, args.self ? *r : *s, args.k, options,
+                                &sink)
+            : driver.RunVector(*r, args.self ? *r : *s, args.eps, options,
+                               &sink);
     if (!report.ok()) {
       std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
       return 1;
@@ -312,6 +324,12 @@ int Run(const CliArgs& args) {
     PrintReport(*report, sink.count());
     PrintMeasuredIo(disk);
     return FinishObservability(args);
+  }
+
+  if (args.k > 0) {
+    std::fprintf(stderr,
+                 "--k is for vector data only (road|clusters|uniform)\n");
+    return 2;
   }
 
   if (args.data == "dna") {
@@ -389,7 +407,7 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: pmjoin_cli [--data=road|clusters|uniform|dna|walk]\n"
         "                  [--algo=nlj|pm-nlj|rand-sc|sc|cc|ego|bfrj|pbsm]\n"
-        "                  [--n=N] [--dims=D] [--eps=E] [--edits=K]\n"
+        "                  [--n=N] [--dims=D] [--eps=E] [--k=N] [--edits=K]\n"
         "                  [--buffer=B] [--page=BYTES] [--window=L]\n"
         "                  [--self] [--seed=S] [--norm=l1|l2|linf]\n"
         "                  [--trace=FILE] [--report=FILE]\n"
@@ -401,7 +419,8 @@ int main(int argc, char** argv) {
         "real pread/pwrite and per-page checksums; modeled I/O counters\n"
         "are identical to --backend=sim.\n"
         "--io-threads=N overlaps the file backend's physical reads with\n"
-        "the joins (async prefetch); results and modeled I/O unchanged.\n");
+        "the joins (async prefetch); results and modeled I/O unchanged.\n"
+        "--k=N runs a kNN join on vector data (ignores --eps and --algo).\n");
     return 2;
   }
   return Run(*args);

@@ -15,6 +15,7 @@
 #include "core/executor.h"
 #include "core/invariant_audit.h"
 #include "core/joiners.h"
+#include "core/knn_join.h"
 #include "core/plane_sweep.h"
 #include "core/pm_nlj.h"
 #include "core/scheduler.h"
@@ -43,6 +44,8 @@ std::string AlgorithmName(Algorithm algorithm) {
       return "BFRJ";
     case Algorithm::kPbsm:
       return "PBSM";
+    case Algorithm::kKnn:
+      return "kNN";
   }
   return "?";
 }
@@ -140,6 +143,8 @@ Status RunMatrixAlgorithm(const JoinInput& input,
     case Algorithm::kBfrj:
     case Algorithm::kPbsm:
       return Status::Internal("not a matrix algorithm");
+    case Algorithm::kKnn:
+      return Status::Internal("kNN is served by RunKnnJoin, not an ε-join");
   }
   return Status::Internal("unknown algorithm");
 }
@@ -160,6 +165,9 @@ Result<JoinReport> JoinDriver::RunVector(const VectorDataset& r,
                                          const JoinResources& resources) {
   if (r.dims() != s.dims())
     return Status::InvalidArgument("RunVector: dimension mismatch");
+  if (options.algorithm == Algorithm::kKnn)
+    return Status::InvalidArgument(
+        "RunVector: kNN is a separate query type (RunKnnJoin)");
   const bool matrix_algorithm = options.algorithm == Algorithm::kNlj ||
                                 options.algorithm == Algorithm::kPmNlj ||
                                 options.algorithm == Algorithm::kRandomSc ||
@@ -243,6 +251,85 @@ Result<JoinReport> JoinDriver::RunVector(const VectorDataset& r,
                             resources.shared_pool);
   }
   if (!st.ok()) return st;
+
+  report.io = disk_->stats().Delta(io_before);
+  report.ops = ops;
+  report.io_seconds = report.io.ModeledSeconds(disk_->model());
+  report.cpu_join_seconds = cpu_model_.JoinSeconds(ops);
+  report.preprocess_seconds = cpu_model_.PreprocessSeconds(ops);
+  report.result_pairs = ops.result_pairs;
+  return report;
+}
+
+Result<JoinReport> JoinDriver::RunKnnJoin(const VectorDataset& r,
+                                          const VectorDataset& s, uint32_t k,
+                                          const JoinOptions& options,
+                                          PairSink* sink) {
+  return RunKnnJoin(r, s, k, options, sink, JoinResources());
+}
+
+Result<JoinReport> JoinDriver::RunKnnJoin(const VectorDataset& r,
+                                          const VectorDataset& s, uint32_t k,
+                                          const JoinOptions& options,
+                                          PairSink* sink,
+                                          const JoinResources& resources) {
+  if (r.dims() != s.dims())
+    return Status::InvalidArgument("RunKnnJoin: dimension mismatch");
+  if (k == 0) return Status::InvalidArgument("RunKnnJoin: k must be >= 1");
+  if (resources.matrix != nullptr)
+    return Status::InvalidArgument(
+        "RunKnnJoin: an ε prediction matrix is not a kNN artifact");
+  if (resources.shared_pool != nullptr &&
+      resources.shared_pool->capacity() < options.buffer_pages)
+    return Status::InvalidArgument(
+        "RunKnnJoin: shared pool smaller than options.buffer_pages");
+
+  const IoStats io_before = disk_->stats();
+  OpCounters ops;
+  JoinReport report;
+  report.algorithm = Algorithm::kKnn;
+  PMJOIN_SPAN_OPS("join", &ops);
+
+  std::optional<KnnCandidateMatrix> built;
+  const KnnCandidateMatrix* matrix = resources.knn_matrix;
+  if (matrix == nullptr) {
+    PMJOIN_SPAN_OPS("knn_matrix", &ops);
+    built = KnnCandidateMatrix::Build(r.page_mbrs(), s.page_mbrs(),
+                                      options.norm, &ops);
+    matrix = &*built;
+  } else if (resources.knn_matrix_build_ops != nullptr) {
+    // Same warm == cold convention as the ε matrices: replay the memoized
+    // build's counters so a cache hit reports identical modeled CPU cost.
+    ops += *resources.knn_matrix_build_ops;
+  }
+  report.matrix_rows = matrix->rows();
+  report.matrix_cols = matrix->cols();
+  // Phase boundary (paranoid builds): whether freshly built or memoized,
+  // every candidate row must be complete and sorted before expansion.
+  PMJOIN_DCHECK_OK(matrix->ValidateInvariants());
+  PMJOIN_METRIC_GAUGE_SET("knn.k", static_cast<int64_t>(k));
+
+  KnnJoinOptions knn_options;
+  knn_options.k = k;
+  knn_options.norm = options.norm;
+  knn_options.self_join = &r == &s;
+  knn_options.num_threads = options.num_threads;
+
+  std::unique_ptr<BufferPool> owned;
+  BufferPool* pool = resources.shared_pool;
+  if (pool == nullptr) {
+    owned = std::make_unique<BufferPool>(disk_, options.buffer_pages);
+    pool = owned.get();
+  }
+  std::unique_ptr<ThreadPool> workers;
+  if (options.num_threads > 1)
+    workers = std::make_unique<ThreadPool>(options.num_threads);
+
+  KnnResultSink results(r.num_records(), k);
+  Status st = KnnJoinVectors(r, s, *matrix, knn_options, pool, &results,
+                             &ops, workers.get());
+  if (!st.ok()) return st;
+  results.Emit(sink, &ops);
 
   report.io = disk_->stats().Delta(io_before);
   report.ops = ops;

@@ -31,10 +31,13 @@ enum class Algorithm {
   kBfrj,      ///< Breadth-first R-tree join (competitor).
   kPbsm,      ///< Partition-based spatial merge (extra baseline; vector
               ///< data only — sequences cannot be partitioned in place).
+  kKnn,       ///< kNN join (adaptive-ε pruning; RunKnnJoin, vector data
+              ///< only). Not an ε-join algorithm — never valid in
+              ///< JoinOptions::algorithm.
 };
 
 /// Short display name ("NLJ", "pm-NLJ", "rand-SC", "SC", "CC", "EGO",
-/// "BFRJ", "PBSM") as used in the paper's figures.
+/// "BFRJ", "PBSM", "kNN") as used in the paper's figures.
 std::string AlgorithmName(Algorithm algorithm);
 
 /// Knobs shared by all joins. Defaults reproduce the paper's setup.
@@ -83,6 +86,7 @@ struct JoinOptions {
 };
 
 class BufferPool;
+class KnnCandidateMatrix;
 
 /// Externally owned artifacts a caller (the join server,
 /// `src/server/server.h`) supplies so repeated queries reuse work across
@@ -116,6 +120,17 @@ struct JoinResources {
   /// never modeled work (kNlj is exempt: its matrix is an uncharged
   /// oracle, so nothing is replayed). May be null for an uncharged reuse.
   const OpCounters* matrix_build_ops = nullptr;
+
+  /// Prebuilt kNN candidate matrix (core/knn_join.h) for exactly this
+  /// (r pages, s pages, norm) dataset pair. The structure is ε- and
+  /// k-free, so one cached build serves every k — which is how the join
+  /// server shares it across mixed ε/kNN traffic on the same pair.
+  /// Ignored by the ε-join entry points.
+  const KnnCandidateMatrix* knn_matrix = nullptr;
+
+  /// Build-time OpCounters replayed on `knn_matrix` reuse (the same
+  /// warm == cold convention as matrix_build_ops). May be null.
+  const OpCounters* knn_matrix_build_ops = nullptr;
 };
 
 /// Everything a bench row needs about one join execution. All "seconds"
@@ -171,6 +186,26 @@ class JoinDriver {
                                const VectorDataset& s, double eps,
                                const JoinOptions& options, PairSink* sink,
                                const JoinResources& resources);
+
+  /// kNN join of two vector datasets: for every record of `r`, its `k`
+  /// nearest records of `s` under options.norm (pass the same object
+  /// twice for a per-row self join, which skips only the identity pair).
+  /// Pairs reach `sink` r-ascending, then (distance, id)-ascending within
+  /// a row — byte-identical to ReferenceKnnJoin. Consumes
+  /// options.buffer_pages / num_threads / norm; options.algorithm is
+  /// ignored (the report says kKnn) and options.io_threads is inert here —
+  /// the expansion order is bound-driven, so there is no precomputable
+  /// page schedule to hand an async reader.
+  Result<JoinReport> RunKnnJoin(const VectorDataset& r,
+                                const VectorDataset& s, uint32_t k,
+                                const JoinOptions& options, PairSink* sink);
+
+  /// Reentrant variant taking cached artifacts: a shared buffer pool
+  /// and/or a memoized kNN candidate matrix (see JoinResources).
+  Result<JoinReport> RunKnnJoin(const VectorDataset& r,
+                                const VectorDataset& s, uint32_t k,
+                                const JoinOptions& options, PairSink* sink,
+                                const JoinResources& resources);
 
   /// Subsequence ε-join (L2 over length-L windows) of two time series.
   Result<JoinReport> RunTimeSeries(const TimeSeriesStore& r,

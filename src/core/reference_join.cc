@@ -1,5 +1,9 @@
 #include "core/reference_join.h"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "seq/edit_distance.h"
 
 namespace pmjoin {
@@ -17,6 +21,27 @@ void ReferenceVectorJoin(const VectorData& r, const VectorData& s,
         sink->OnPair(i, j);
       }
     }
+  }
+}
+
+void ReferenceKnnJoin(const VectorData& r, const VectorData& s, uint32_t k,
+                      Norm norm, bool self_join, PairSink* sink) {
+  if (k == 0) return;
+  const size_t nr = r.count();
+  const size_t ns = s.count();
+  std::vector<std::pair<double, uint64_t>> cands;
+  cands.reserve(ns);
+  for (size_t i = 0; i < nr; ++i) {
+    const std::span<const float> x(r.record(i), r.dims);
+    cands.clear();
+    for (size_t j = 0; j < ns; ++j) {
+      if (self_join && i == j) continue;
+      cands.emplace_back(DistanceStat(x, {s.record(j), s.dims}, norm),
+                         uint64_t(j));
+    }
+    const size_t take = std::min<size_t>(k, cands.size());
+    std::partial_sort(cands.begin(), cands.begin() + take, cands.end());
+    for (size_t t = 0; t < take; ++t) sink->OnPair(i, cands[t].second);
   }
 }
 

@@ -20,6 +20,16 @@ void ReferenceVectorJoin(const VectorData& r, const VectorData& s,
                          double eps, Norm norm, bool self_join,
                          PairSink* sink);
 
+/// Brute-force kNN join: for every record i of r, its k nearest records of
+/// s ordered by (DistanceStat, id) — the deterministic tie-break at the
+/// k-th distance. Unlike the ε self-join's unordered-pair convention, a
+/// kNN self join is per-row: it only skips the identity pair i == j, so
+/// (i, j) and (j, i) can both appear. When k >= |s| every (non-identity)
+/// pair is a neighbor. Pairs are emitted i-ascending, then
+/// (statistic, id)-ascending within a row.
+void ReferenceKnnJoin(const VectorData& r, const VectorData& s, uint32_t k,
+                      Norm norm, bool self_join, PairSink* sink);
+
 /// All window pairs with L2 distance <= eps. Self join: x + L <= y only.
 void ReferenceTimeSeriesJoin(std::span<const float> x,
                              std::span<const float> y, uint32_t window_len,

@@ -55,6 +55,34 @@ double SquaredL2(std::span<const float> a, std::span<const float> b) {
   return sum;
 }
 
+double DistanceStat(std::span<const float> a, std::span<const float> b,
+                    Norm norm) {
+  assert(a.size() == b.size());
+  const size_t n = a.size();
+  switch (norm) {
+    case Norm::kL1: {
+      double sum = 0.0;
+      for (size_t i = 0; i < n; ++i) sum += std::fabs(double(a[i]) - b[i]);
+      return sum;
+    }
+    case Norm::kL2: {
+      double sum = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const double d = double(a[i]) - b[i];
+        sum += d * d;
+      }
+      return sum;
+    }
+    case Norm::kLInf: {
+      double mx = 0.0;
+      for (size_t i = 0; i < n; ++i)
+        mx = std::max(mx, std::fabs(double(a[i]) - b[i]));
+      return mx;
+    }
+  }
+  return 0.0;
+}
+
 bool WithinDistance(std::span<const float> a, std::span<const float> b,
                     Norm norm, double eps) {
   assert(a.size() == b.size());

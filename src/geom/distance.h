@@ -38,6 +38,15 @@ double SquaredL2(std::span<const float> a, std::span<const float> b);
 bool WithinDistance(std::span<const float> a, std::span<const float> b,
                     Norm norm, double eps);
 
+/// The exact comparison statistic behind every threshold decision: the L1
+/// sum, the *squared* L2 sum (no sqrt), or the Linf max, accumulated in
+/// double precision in index order. `WithinDistance(a, b, norm, eps)` is
+/// exactly `DistanceStat(a, b, norm) <= (norm == L2 ? eps*eps : eps)`; the
+/// kNN path orders neighbors by this statistic so its selections agree
+/// bit-for-bit with the ε predicates and the scalar reference.
+double DistanceStat(std::span<const float> a, std::span<const float> b,
+                    Norm norm);
+
 }  // namespace pmjoin
 
 #endif  // PMJOIN_GEOM_DISTANCE_H_

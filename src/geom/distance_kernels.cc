@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <span>
 
 #ifdef __AVX2__
@@ -215,6 +216,87 @@ uint32_t BlockGeneric(const float* PMJOIN_RESTRICT query,
   return within;
 }
 
+/// Exact statistic for one row of a kNN candidate pass.
+inline double KnnExact(const float* query, const float* row, size_t dims,
+                       Norm norm) {
+  return DistanceStat(std::span<const float>(query, dims),
+                      std::span<const float>(row, dims), norm);
+}
+
+/// kNN candidate pass at compile-time padded width W: float statistic
+/// filtered against the adaptive bound's reject edge; survivors get the
+/// exact scalar statistic. There is no accept edge here — top-k ordering
+/// needs the exact value, not just the bit, so every survivor is
+/// re-accumulated in double.
+template <Norm N, uint32_t W>
+uint32_t KnnFixed(const float* PMJOIN_RESTRICT query, const BlockView& block,
+                  size_t dims, double reject_hi, double* stats) {
+  const float* PMJOIN_RESTRICT rows = block.data;
+  uint32_t exact = 0;
+  for (uint32_t j = 0; j < block.count; ++j) {
+    const float* row = rows + size_t(j) * W;
+    const float stat = PaddedStat<N>(query, row, W);
+    if (static_cast<double>(stat) >= reject_hi) {
+      stats[j] = std::numeric_limits<double>::infinity();
+      continue;
+    }
+    stats[j] = KnnExact(query, row, dims, N);
+    ++exact;
+  }
+  return exact;
+}
+
+/// Runtime-width kNN candidate pass (GenericStat abandons at the reject
+/// edge, so a distant row in a wide record stops after one chunk).
+template <Norm N>
+uint32_t KnnGeneric(const float* PMJOIN_RESTRICT query,
+                    const BlockView& block, size_t dims, double reject_hi,
+                    double* stats) {
+  const float* PMJOIN_RESTRICT rows = block.data;
+  const size_t stride = block.stride;
+  const size_t n = stride >= dims ? stride : dims;
+  const float reject_at = static_cast<float>(reject_hi);
+  uint32_t exact = 0;
+  for (uint32_t j = 0; j < block.count; ++j) {
+    const float* row = rows + size_t(j) * stride;
+    const float stat = GenericStat<N>(query, row, n, reject_at);
+    if (static_cast<double>(stat) >= reject_hi) {
+      stats[j] = std::numeric_limits<double>::infinity();
+      continue;
+    }
+    stats[j] = KnnExact(query, row, dims, N);
+    ++exact;
+  }
+  return exact;
+}
+
+template <Norm N>
+uint32_t KnnDispatch(const float* query, const BlockView& block, size_t dims,
+                     double bound_stat, double* stats) {
+  if (block.count == 0) return 0;
+  if (std::isinf(bound_stat)) {
+    // No bound yet (an unfilled heap): every row is a candidate, and a
+    // float overflow must not drop one, so skip the float pass entirely.
+    const size_t stride = block.stride;
+    for (uint32_t j = 0; j < block.count; ++j)
+      stats[j] = KnnExact(query, block.data + size_t(j) * stride, dims, N);
+    return block.count;
+  }
+  const double reject_hi = bound_stat + ErrorBand(dims, bound_stat);
+  switch (block.stride) {
+    case 8:
+      return KnnFixed<N, 8>(query, block, dims, reject_hi, stats);
+    case 16:
+      return KnnFixed<N, 16>(query, block, dims, reject_hi, stats);
+    case 32:
+      return KnnFixed<N, 32>(query, block, dims, reject_hi, stats);
+    case 64:
+      return KnnFixed<N, 64>(query, block, dims, reject_hi, stats);
+    default:
+      return KnnGeneric<N>(query, block, dims, reject_hi, stats);
+  }
+}
+
 template <Norm N>
 uint32_t BlockDispatch(const float* query, const BlockView& block,
                        size_t dims, double eps, uint8_t* mask) {
@@ -257,6 +339,20 @@ uint32_t WithinMaskBlock(const float* query, const BlockView& block,
 uint32_t CountWithinBlock(const float* query, const BlockView& block,
                           size_t dims, Norm norm, double eps) {
   return NormDispatch(query, block, dims, norm, eps, nullptr);
+}
+
+uint32_t KnnCandidateBlock(const float* query, const BlockView& block,
+                           size_t dims, Norm norm, double bound_stat,
+                           double* stats) {
+  switch (norm) {
+    case Norm::kL1:
+      return KnnDispatch<Norm::kL1>(query, block, dims, bound_stat, stats);
+    case Norm::kL2:
+      return KnnDispatch<Norm::kL2>(query, block, dims, bound_stat, stats);
+    case Norm::kLInf:
+      return KnnDispatch<Norm::kLInf>(query, block, dims, bound_stat, stats);
+  }
+  return 0;
 }
 
 bool WithinOne(const float* a, const float* b, size_t dims, Norm norm,

@@ -60,6 +60,21 @@ uint32_t WithinMaskBlock(const float* query, const BlockView& block,
 uint32_t CountWithinBlock(const float* query, const BlockView& block,
                           size_t dims, Norm norm, double eps);
 
+/// One-vs-block top-k candidate pass: writes `stats[j]` for every row j of
+/// `block`. Rows whose exact statistic might be <= `bound_stat` (the
+/// caller's current k-th-neighbor statistic; +infinity while its heap is
+/// unfilled) get their exact `DistanceStat` value; rows the float filter
+/// proves beyond the bound get +infinity. `bound_stat` is in statistic
+/// space (squared distance for L2, the sum for L1, the max for Linf).
+/// Returns the number of exact evaluations. Same float-band +
+/// scalar-double re-decision contract as the ε kernels: a row is only
+/// dropped when its float statistic clears the bound by more than the
+/// rounding-error band, so the surviving candidate set — and hence every
+/// selected neighbor — is byte-identical to the scalar reference.
+uint32_t KnnCandidateBlock(const float* query, const BlockView& block,
+                           size_t dims, Norm norm, double bound_stat,
+                           double* stats);
+
 /// One-vs-one predicate with the same decision bit as the scalar reference
 /// `WithinDistance` — the kernel-layer entry point for callers whose
 /// candidate rows are not contiguous (EGO's grid band, PBSM's buckets).

@@ -13,19 +13,26 @@ Status AdmissionController::Admit(JobSpec* job) const {
   if (r->dims != s->dims)
     return Status::InvalidArgument("dimension mismatch: " + job->r +
                                    " vs " + job->s);
-  if (job->eps <= 0.0)
-    return Status::InvalidArgument("eps must be > 0");
-  switch (job->engine) {
-    case Algorithm::kNlj:
-    case Algorithm::kPmNlj:
-    case Algorithm::kRandomSc:
-    case Algorithm::kSc:
-    case Algorithm::kCc:
-      break;
-    default:
-      return Status::InvalidArgument(
-          "engine not served (matrix family only): " +
-          AlgorithmName(job->engine));
+  if (job->k > 0) {
+    // kNN job: the engine field is inert, but a nonzero eps signals a
+    // confused submission — reject rather than silently drop it.
+    if (job->eps != 0.0)
+      return Status::InvalidArgument("kNN jobs take \"k\", not \"eps\"");
+  } else {
+    if (job->eps <= 0.0)
+      return Status::InvalidArgument("eps must be > 0");
+    switch (job->engine) {
+      case Algorithm::kNlj:
+      case Algorithm::kPmNlj:
+      case Algorithm::kRandomSc:
+      case Algorithm::kSc:
+      case Algorithm::kCc:
+        break;
+      default:
+        return Status::InvalidArgument(
+            "engine not served (matrix family only): " +
+            AlgorithmName(job->engine));
+    }
   }
   if (job->buffer_pages == 0)
     job->buffer_pages = options_.default_buffer_pages;

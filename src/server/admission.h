@@ -27,9 +27,11 @@ struct QueuedQuery {
 /// A job is admitted iff:
 ///   - both dataset specs parse (DatasetSpec::Parse) and agree on dims
 ///     (the driver would reject the pair anyway; failing here is free),
-///   - eps > 0,
-///   - the engine is in the served matrix family (ParseEngine enforces
-///     this at parse time; re-checked for programmatic submissions),
+///   - it is exactly one of the two query shapes: an ε-join (eps > 0,
+///     k == 0) or a kNN join (k >= 1, eps == 0),
+///   - for ε-joins, the engine is in the served matrix family
+///     (ParseEngine enforces this at parse time; re-checked for
+///     programmatic submissions — kNN jobs ignore the engine field),
 ///   - its buffer_pages (explicit or server default) fits the shared
 ///     pool, so the query cannot deadlock on pool capacity,
 ///   - num_threads is at most max_threads,

@@ -26,6 +26,14 @@ std::string MatrixKey(const std::string& r_key, const std::string& s_key,
          std::to_string(filter_iterations);
 }
 
+/// kNN candidate-matrix memo key: dataset keys + norm only — the
+/// structure holds ε-free MINDIST lower bounds, so neither eps nor k
+/// belongs in the key.
+std::string KnnMatrixKey(const std::string& r_key, const std::string& s_key,
+                         Norm norm) {
+  return r_key + "|" + s_key + "|knn|" + NormName(norm);
+}
+
 }  // namespace
 
 ArtifactCache::ArtifactCache(StorageBackend* disk, Options options)
@@ -122,6 +130,37 @@ Result<const ArtifactCache::CachedMatrix*> ArtifactCache::GetMatrix(
   PMJOIN_METRIC_COUNT("server.cache.matrix_builds", 1);
   const CachedMatrix* raw = cached.get();
   matrices_.emplace(key, std::move(cached));
+  return raw;
+}
+
+Result<const ArtifactCache::CachedKnnMatrix*> ArtifactCache::GetKnnMatrix(
+    const DatasetSpec& r, const DatasetSpec& s, Norm norm, bool* hit) {
+  MutexLock lock(&mu_);
+  const std::string key = KnnMatrixKey(r.Canonical(), s.Canonical(), norm);
+  auto it = knn_matrices_.find(key);
+  if (it != knn_matrices_.end()) {
+    *hit = true;
+    ++stats_.knn_matrix_hits;
+    PMJOIN_METRIC_COUNT("server.cache.knn_matrix_hits", 1);
+    return static_cast<const CachedKnnMatrix*>(it->second.get());
+  }
+  *hit = false;
+
+  Result<const VectorDataset*> rd = GetDatasetLocked(r);
+  if (!rd.ok()) return rd.status();
+  Result<const VectorDataset*> sd = GetDatasetLocked(s);
+  if (!sd.ok()) return sd.status();
+
+  PMJOIN_SPAN("artifact_knn_matrix");
+  OpCounters build_ops;
+  KnnCandidateMatrix matrix = KnnCandidateMatrix::Build(
+      (*rd)->page_mbrs(), (*sd)->page_mbrs(), norm, &build_ops);
+  auto cached = std::make_unique<CachedKnnMatrix>(
+      CachedKnnMatrix{std::move(matrix), build_ops});
+  ++stats_.knn_matrix_builds;
+  PMJOIN_METRIC_COUNT("server.cache.knn_matrix_builds", 1);
+  const CachedKnnMatrix* raw = cached.get();
+  knn_matrices_.emplace(key, std::move(cached));
   return raw;
 }
 

@@ -9,6 +9,7 @@
 #include "common/op_counters.h"
 #include "common/result.h"
 #include "common/sync.h"
+#include "core/knn_join.h"
 #include "core/prediction_matrix.h"
 #include "data/vector_dataset.h"
 #include "geom/distance.h"
@@ -31,6 +32,9 @@ namespace server {
 ///     restores a persisted build bit-identically (PR 5).
 ///   - matrices: (r key, s key, eps, norm) plus the build knobs
 ///     (hierarchical, filter iterations). Everything Theorem 1 reads.
+///   - kNN candidate matrices: (r key, s key, norm) only — the structure
+///     is ε- and k-free (sorted MINDIST lower bounds per page pair), so
+///     one cached build serves every k over the same dataset pair.
 ///
 /// Invalidation: never — every key pins immutable content, so entries
 /// stay valid for the process lifetime (restarting the server is the only
@@ -83,6 +87,23 @@ class ArtifactCache {
                                         Norm norm, bool* hit)
       PMJOIN_EXCLUDES(mu_);
 
+  /// A memoized kNN candidate matrix plus its build OpCounters, replayed
+  /// on reuse (JoinResources::knn_matrix_build_ops) just like
+  /// CachedMatrix::build_ops.
+  struct CachedKnnMatrix {
+    KnnCandidateMatrix matrix;
+    OpCounters build_ops;
+  };
+
+  /// The kNN candidate matrix for (r, s, norm), building and memoizing
+  /// it on first use. Keyed without eps or k, so every kNN query over
+  /// the same dataset pair and norm hits the same entry. `*hit` reports
+  /// whether this call was served from memory.
+  Result<const CachedKnnMatrix*> GetKnnMatrix(const DatasetSpec& r,
+                                              const DatasetSpec& s,
+                                              Norm norm, bool* hit)
+      PMJOIN_EXCLUDES(mu_);
+
   /// Monotonic since construction; "hit" = served from memory, "open" =
   /// restored from the backend, "build" = generated from scratch.
   struct Stats {
@@ -91,6 +112,8 @@ class ArtifactCache {
     uint64_t dataset_builds = 0;
     uint64_t matrix_hits = 0;
     uint64_t matrix_builds = 0;
+    uint64_t knn_matrix_hits = 0;
+    uint64_t knn_matrix_builds = 0;
   };
   Stats stats() const PMJOIN_EXCLUDES(mu_) {
     MutexLock lock(&mu_);
@@ -110,6 +133,8 @@ class ArtifactCache {
   std::map<std::string, std::unique_ptr<VectorDataset>> datasets_
       PMJOIN_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<CachedMatrix>> matrices_
+      PMJOIN_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<CachedKnnMatrix>> knn_matrices_
       PMJOIN_GUARDED_BY(mu_);
 };
 

@@ -273,14 +273,15 @@ Result<std::optional<JobSpec>> ParseJobLine(const std::string& line) {
     } else if (key == "engine") {
       PMJOIN_ASSIGN_OR_RETURN(job.engine, ParseEngine(value.text));
     } else if (key == "buffer_pages" || key == "threads" ||
-               key == "io_threads") {
+               key == "io_threads" || key == "k") {
       if (value.type != JsonScalar::Type::kNumber || value.number < 0 ||
           value.number != static_cast<double>(
                               static_cast<uint32_t>(value.number)))
         return Status::InvalidArgument(key + " must be a small integer");
       (key == "buffer_pages"
            ? job.buffer_pages
-           : key == "threads" ? job.num_threads : job.io_threads) =
+           : key == "threads" ? job.num_threads
+                              : key == "io_threads" ? job.io_threads : job.k) =
           static_cast<uint32_t>(value.number);
     } else {
       return Status::InvalidArgument("unknown job key: " + key);
@@ -288,8 +289,18 @@ Result<std::optional<JobSpec>> ParseJobLine(const std::string& line) {
   }
   if (job.r.empty() || job.s.empty())
     return Status::InvalidArgument("job needs both \"r\" and \"s\"");
-  if (job.eps <= 0.0)
-    return Status::InvalidArgument("job needs \"eps\" > 0");
+  if (job.k > 0) {
+    // kNN job: its own query type, so the ε-join knobs must be absent.
+    if (object.count("eps") != 0)
+      return Status::InvalidArgument(
+          "\"eps\" and \"k\" are mutually exclusive");
+    if (object.count("engine") != 0)
+      return Status::InvalidArgument("\"engine\" does not apply to kNN jobs");
+  } else if (object.count("k") != 0) {
+    return Status::InvalidArgument("job needs \"k\" >= 1");
+  } else if (job.eps <= 0.0) {
+    return Status::InvalidArgument("job needs \"eps\" > 0 (or \"k\" for kNN)");
+  }
   return std::optional<JobSpec>(std::move(job));
 }
 

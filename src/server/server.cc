@@ -62,10 +62,12 @@ Result<uint64_t> JoinServer::Submit(const JobSpec& job_in) {
   if (!st.ok()) {
     QueryResult rejected;
     rejected.row.id = job.id;
-    rejected.row.engine = EngineToken(job.engine);
+    rejected.row.engine = EngineToken(job.k > 0 ? Algorithm::kKnn
+                                                : job.engine);
     rejected.row.r = job.r;
     rejected.row.s = job.s;
     rejected.row.eps = job.eps;
+    rejected.row.k = job.k;
     rejected.row.status = "rejected";
     rejected.row.error = st.message();
     {
@@ -91,10 +93,12 @@ Result<uint64_t> JoinServer::SubmitBlocking(const JobSpec& job_in) {
   if (!st.ok()) {
     QueryResult rejected;
     rejected.row.id = job.id;
-    rejected.row.engine = EngineToken(job.engine);
+    rejected.row.engine = EngineToken(job.k > 0 ? Algorithm::kKnn
+                                                : job.engine);
     rejected.row.r = job.r;
     rejected.row.s = job.s;
     rejected.row.eps = job.eps;
+    rejected.row.k = job.k;
     rejected.row.status = "rejected";
     rejected.row.error = st.message();
     {
@@ -154,8 +158,9 @@ void JoinServer::Execute(const QueuedQuery& queued) {
   QueryResult result;
   QueryRow& row = result.row;
   row.id = job.id;
-  row.engine = EngineToken(job.engine);
+  row.engine = EngineToken(job.k > 0 ? Algorithm::kKnn : job.engine);
   row.eps = job.eps;
+  row.k = job.k;
   row.queue_ns = dequeue_ns - queued.enqueue_ns;
 
   // Specs were validated at admission; Parse cannot fail here.
@@ -185,12 +190,6 @@ void JoinServer::Execute(const QueuedQuery& queued) {
       st = sd.status();
       break;
     }
-    Result<const ArtifactCache::CachedMatrix*> cm = cache_.GetMatrix(
-        r_spec, s_spec, job.eps, options_.norm, &matrix_hit);
-    if (!cm.ok()) {
-      st = cm.status();
-      break;
-    }
 
     JoinOptions join_options;
     join_options.algorithm = job.engine;
@@ -205,11 +204,33 @@ void JoinServer::Execute(const QueuedQuery& queued) {
 
     JoinResources resources;
     resources.shared_pool = &pool_;
-    resources.matrix = &(*cm)->matrix;
-    resources.matrix_build_ops = &(*cm)->build_ops;
 
-    Result<JoinReport> report = driver_.RunVector(
-        **rd, **sd, job.eps, join_options, &sink, resources);
+    Result<JoinReport> report = JoinReport{};
+    if (job.k > 0) {
+      // kNN query: the candidate matrix is ε- and k-free, so every kNN
+      // query on this dataset pair (any k) shares one cached build.
+      Result<const ArtifactCache::CachedKnnMatrix*> km =
+          cache_.GetKnnMatrix(r_spec, s_spec, options_.norm, &matrix_hit);
+      if (!km.ok()) {
+        st = km.status();
+        break;
+      }
+      resources.knn_matrix = &(*km)->matrix;
+      resources.knn_matrix_build_ops = &(*km)->build_ops;
+      report = driver_.RunKnnJoin(**rd, **sd, job.k, join_options, &sink,
+                                  resources);
+    } else {
+      Result<const ArtifactCache::CachedMatrix*> cm = cache_.GetMatrix(
+          r_spec, s_spec, job.eps, options_.norm, &matrix_hit);
+      if (!cm.ok()) {
+        st = cm.status();
+        break;
+      }
+      resources.matrix = &(*cm)->matrix;
+      resources.matrix_build_ops = &(*cm)->build_ops;
+      report = driver_.RunVector(**rd, **sd, job.eps, join_options, &sink,
+                                 resources);
+    }
     if (!report.ok()) {
       st = report.status();
       break;
@@ -230,6 +251,7 @@ void JoinServer::Execute(const QueuedQuery& queued) {
   query_report.SetContext("r", row.r);
   query_report.SetContext("s", row.s);
   query_report.SetContext("eps", row.eps);
+  query_report.SetContext("k", static_cast<uint64_t>(row.k));
   query_report.SetContext("matrix_cache_hit",
                           static_cast<uint64_t>(matrix_hit ? 1 : 0));
   query_report.CaptureSession();
@@ -305,6 +327,8 @@ ServerReport JoinServer::BuildReport() {
   cache_row.dataset_builds = cache_stats.dataset_builds;
   cache_row.matrix_hits = cache_stats.matrix_hits;
   cache_row.matrix_builds = cache_stats.matrix_builds;
+  cache_row.knn_matrix_hits = cache_stats.knn_matrix_hits;
+  cache_row.knn_matrix_builds = cache_stats.knn_matrix_builds;
   report.SetCacheStats(cache_row);
 
   ServerReport::AdmissionStats admission_row = admission_stats_;

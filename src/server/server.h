@@ -23,7 +23,8 @@
 namespace pmjoin {
 namespace server {
 
-/// Long-lived ε-join server over one storage backend.
+/// Long-lived join server over one storage backend, serving both ε-joins
+/// and kNN joins (JobSpec::k) from the same queue and artifact cache.
 ///
 /// Topology: N submitter threads → AdmissionController → bounded
 /// QueryQueue → one worker thread → JoinDriver. Concurrency lives at the
@@ -39,8 +40,9 @@ namespace server {
 ///   - one BufferPool (Options::pool_pages): residency left by a query
 ///     turns the next query's reads of the same pages into buffer hits;
 ///   - one ArtifactCache: datasets (generate/Build once, or Open a copy
-///     persisted by a prior process) and memoized prediction matrices
-///     keyed by (dataset pair, eps, norm).
+///     persisted by a prior process), memoized prediction matrices keyed
+///     by (dataset pair, eps, norm), and memoized kNN candidate matrices
+///     keyed by (dataset pair, norm) — shared by every k.
 ///
 /// Observability: each executed query runs inside its own Tracer session
 /// and emits a standard obs::RunReport (written to

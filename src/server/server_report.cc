@@ -102,6 +102,8 @@ std::string ServerReport::ToJson() const {
     char buf[48];
     std::snprintf(buf, sizeof(buf), ",\"eps\":%.17g,", row.eps);
     out += buf;
+    AppendU64(&out, "k", row.k);
+    out += ',';
     out += "\"status\":";
     out += JsonEscape(row.status);
     if (!row.error.empty()) {
@@ -158,6 +160,10 @@ std::string ServerReport::ToJson() const {
   AppendU64(&out, "matrix_hits", cache_.matrix_hits);
   out += ',';
   AppendU64(&out, "matrix_builds", cache_.matrix_builds);
+  out += ',';
+  AppendU64(&out, "knn_matrix_hits", cache_.knn_matrix_hits);
+  out += ',';
+  AppendU64(&out, "knn_matrix_builds", cache_.knn_matrix_builds);
   out += '}';
 
   out += ",\"admission\":{";

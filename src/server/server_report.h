@@ -17,10 +17,11 @@ namespace server {
 /// One query's row in the aggregate server report.
 struct QueryRow {
   std::string id;
-  std::string engine;  ///< Job-file token ("sc", "cc", ...).
+  std::string engine;  ///< Job-file token ("sc", "cc", ..., "knn").
   std::string r;       ///< Canonical dataset key.
   std::string s;
-  double eps = 0.0;
+  double eps = 0.0;    ///< 0 for kNN rows.
+  uint32_t k = 0;      ///< 0 for ε-join rows; >= 1 for kNN rows.
   std::string status;  ///< "ok" | "rejected" | "failed".
   std::string error;   ///< Status message when not "ok".
   uint64_t result_pairs = 0;
@@ -75,6 +76,8 @@ class ServerReport {
     uint64_t dataset_builds = 0;
     uint64_t matrix_hits = 0;
     uint64_t matrix_builds = 0;
+    uint64_t knn_matrix_hits = 0;
+    uint64_t knn_matrix_builds = 0;
   };
   void SetCacheStats(const CacheStats& stats) { cache_ = stats; }
 

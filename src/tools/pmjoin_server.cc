@@ -1,7 +1,8 @@
-// pmjoin_server — long-lived ε-join server: reads newline-delimited JSON
+// pmjoin_server — long-lived join server: reads newline-delimited JSON
 // submit lines from a job file (or stdin), runs them through the
 // admission controller, bounded query queue, shared buffer pool, and
 // artifact cache, and writes the aggregate pmjoin.server_report.v1 JSON.
+// Serves both ε-joins ("eps" key) and kNN joins ("k" key).
 //
 // Usage:
 //   pmjoin_server [--jobs=FILE|-] [--backend=sim|file] [--data-dir=DIR]
@@ -13,6 +14,7 @@
 // Job lines (see docs/SERVER.md for the full grammar):
 //   {"cmd": "submit", "r": "road/2000/7", "s": "road/2000/8",
 //    "eps": 0.01, "engine": "sc"}
+//   {"cmd": "submit", "r": "road/2000/7", "s": "road/2000/8", "k": 8}
 //
 // --jobs selects the job file; `-` (the default) reads stdin, so the
 // server can be driven interactively or from a pipe. --backend and
@@ -232,10 +234,15 @@ int Run(const CliArgs& args) {
   for (const server::QueryRow& row : report.queries()) {
     if (row.status == "ok") {
       ++ok;
-      std::printf("%-8s %-8s %s ⋈ %s eps=%g pairs=%llu io.read=%llu "
+      char predicate[32];
+      if (row.k > 0)
+        std::snprintf(predicate, sizeof(predicate), "k=%u", row.k);
+      else
+        std::snprintf(predicate, sizeof(predicate), "eps=%g", row.eps);
+      std::printf("%-8s %-8s %s ⋈ %s %s pairs=%llu io.read=%llu "
                   "hits=%llu%s\n",
                   row.id.c_str(), row.engine.c_str(), row.r.c_str(),
-                  row.s.c_str(), row.eps,
+                  row.s.c_str(), predicate,
                   (unsigned long long)row.result_pairs,
                   (unsigned long long)row.io.pages_read,
                   (unsigned long long)row.io.buffer_hits,

@@ -113,9 +113,16 @@ TEST(JobLineTest, RejectsMalformedLines) {
   EXPECT_FALSE(ParseJobLine("{\"cmd\": \"drop\", \"r\": \"road/10/1\", "
                             "\"s\": \"road/10/2\", \"eps\": 1}")
                    .ok());
-  EXPECT_FALSE(ParseJobLine("{\"r\": \"road/10/1\", \"s\": \"road/10/2\", "
-                            "\"eps\": 1, \"frobnicate\": true}")
-                   .ok());
+  // Unknown keys are rejected *by name* — a typo must surface as itself,
+  // not as a missing-eps or wrong-shape complaint.
+  auto unknown = ParseJobLine("{\"r\": \"road/10/1\", \"s\": \"road/10/2\", "
+                              "\"eps\": 1, \"frobnicate\": true}");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().message().find("unknown job key"),
+            std::string::npos)
+      << unknown.status().ToString();
+  EXPECT_NE(unknown.status().message().find("frobnicate"), std::string::npos)
+      << unknown.status().ToString();
   EXPECT_FALSE(ParseJobLine("{\"r\": \"road/10/1\", \"s\": \"road/10/2\", "
                             "\"eps\": 1, \"engine\": \"ego\"}")
                    .ok());
@@ -131,6 +138,37 @@ TEST(JobLineTest, RejectsMalformedLines) {
   EXPECT_FALSE(ParseJobLine("{\"r\": \"road/10/1\", \"s\": \"road/10/2\", "
                             "\"eps\": 1} extra")
                    .ok());
+}
+
+TEST(JobLineTest, ParsesKnnJobs) {
+  auto line = ParseJobLine(
+      "{\"r\": \"road/2000/7\", \"s\": \"road/2000/8\", \"k\": 8}");
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  ASSERT_TRUE(line->has_value());
+  EXPECT_EQ((*line)->k, 8u);
+  EXPECT_DOUBLE_EQ((*line)->eps, 0.0);
+
+  // eps and k are mutually exclusive — two predicates, one query.
+  EXPECT_FALSE(ParseJobLine("{\"r\": \"road/10/1\", \"s\": \"road/10/2\", "
+                            "\"eps\": 0.5, \"k\": 4}")
+                   .ok());
+  // engine only applies to eps-joins.
+  EXPECT_FALSE(ParseJobLine("{\"r\": \"road/10/1\", \"s\": \"road/10/2\", "
+                            "\"k\": 4, \"engine\": \"sc\"}")
+                   .ok());
+  // k must be a positive small integer.
+  EXPECT_FALSE(
+      ParseJobLine(
+          "{\"r\": \"road/10/1\", \"s\": \"road/10/2\", \"k\": 0}")
+          .ok());
+  EXPECT_FALSE(
+      ParseJobLine(
+          "{\"r\": \"road/10/1\", \"s\": \"road/10/2\", \"k\": 2.5}")
+          .ok());
+  EXPECT_FALSE(
+      ParseJobLine(
+          "{\"r\": \"road/10/1\", \"s\": \"road/10/2\", \"k\": -3}")
+          .ok());
 }
 
 TEST(JobStreamTest, ParsesStreamAndNamesBadLine) {
@@ -215,6 +253,35 @@ TEST(AdmissionTest, RejectsPolicyViolations) {
   JobSpec threads = MakeJob("road/100/1", "road/100/2", 0.1);
   threads.num_threads = 9;  // > max_threads
   EXPECT_FALSE(admission.Admit(&threads).ok());
+}
+
+TEST(AdmissionTest, AdmitsKnnJobsAndRejectsMixedPredicates) {
+  AdmissionController admission(
+      AdmissionController::Options{128, 48, 2, 8});
+
+  JobSpec knn = MakeJob("road/100/1", "road/100/2", 0.0);
+  knn.k = 8;
+  ASSERT_TRUE(admission.Admit(&knn).ok());
+  EXPECT_EQ(knn.buffer_pages, 48u);  // defaults resolve for kNN jobs too
+
+  // The engine field is inert for kNN jobs: even a value the eps-join
+  // family would reject passes (programmatic submissions only — the
+  // parser refuses the engine key on kNN job lines outright).
+  JobSpec engine = MakeJob("road/100/1", "road/100/2", 0.0);
+  engine.k = 4;
+  engine.engine = Algorithm::kEgo;
+  EXPECT_TRUE(admission.Admit(&engine).ok());
+
+  // A nonzero eps alongside k signals a confused submission.
+  JobSpec mixed = MakeJob("road/100/1", "road/100/2", 0.5);
+  mixed.k = 4;
+  EXPECT_FALSE(admission.Admit(&mixed).ok());
+
+  // Pool and thread caps apply to kNN jobs unchanged.
+  JobSpec buffer = MakeJob("road/100/1", "road/100/2", 0.0);
+  buffer.k = 4;
+  buffer.buffer_pages = 129;
+  EXPECT_FALSE(admission.Admit(&buffer).ok());
 }
 
 // ---------------------------------------------------------------------------
@@ -313,6 +380,37 @@ TEST(ArtifactCacheTest, MatrixMemoizationKeysOnEpsAndNorm) {
 
   EXPECT_EQ(cache.stats().matrix_builds, 3u);
   EXPECT_EQ(cache.stats().matrix_hits, 1u);
+}
+
+TEST(ArtifactCacheTest, KnnMatrixIsSharedAcrossEveryK) {
+  auto disk = MakeTestBackend(DiskModel(), 1024);
+  ArtifactCache cache(disk.get(), ArtifactCache::Options{1024, false, true, 5});
+  const DatasetSpec r = *DatasetSpec::Parse("road/500/3");
+  const DatasetSpec s = *DatasetSpec::Parse("road/500/4");
+
+  bool hit = true;
+  auto cold = cache.GetKnnMatrix(r, s, Norm::kL2, &hit);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_FALSE(hit);
+  ASSERT_TRUE((*cold)->matrix.ValidateInvariants().ok());
+
+  // The key has no eps and no k: any later kNN query on the pair hits.
+  auto warm = cache.GetKnnMatrix(r, s, Norm::kL2, &hit);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(*cold, *warm);
+
+  // A different norm is a different comparison space, hence a different
+  // artifact; eps-join matrices live in their own namespace entirely.
+  ASSERT_TRUE(cache.GetKnnMatrix(r, s, Norm::kL1, &hit).ok());
+  EXPECT_FALSE(hit);
+  ASSERT_TRUE(cache.GetMatrix(r, s, 0.01, Norm::kL2, &hit).ok());
+  EXPECT_FALSE(hit);
+
+  EXPECT_EQ(cache.stats().knn_matrix_builds, 2u);
+  EXPECT_EQ(cache.stats().knn_matrix_hits, 1u);
+  EXPECT_EQ(cache.stats().matrix_builds, 1u);
+  EXPECT_EQ(cache.stats().matrix_hits, 0u);
 }
 
 TEST(ArtifactCacheTest, PersistedDatasetReopensInFreshCache) {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -52,6 +53,14 @@ JobSpec MakeJob(const std::string& r, const std::string& s, double eps,
   return job;
 }
 
+JobSpec MakeKnnJob(const std::string& r, const std::string& s, uint32_t k) {
+  JobSpec job;
+  job.r = r;
+  job.s = s;
+  job.k = k;
+  return job;
+}
+
 struct StandaloneRun {
   std::vector<std::pair<uint64_t, uint64_t>> pairs;
   OpCounters ops;
@@ -81,14 +90,17 @@ StandaloneRun RunStandalone(const JobSpec& job) {
   JoinDriver driver(disk.get());
   CollectingSink sink;
   Result<JoinReport> report(Status::Internal("unset"));
-  if (r_spec.Canonical() == s_spec.Canonical()) {
-    report = driver.RunVector(*r, *r, job.eps, options, &sink);
-  } else {
-    auto s = VectorDataset::Build(disk.get(), s_spec.Canonical(),
-                                  s_spec.Generate(), build);
-    PMJOIN_CHECK(s.ok());
-    report = driver.RunVector(*r, *s, job.eps, options, &sink);
+  std::optional<VectorDataset> s;
+  if (r_spec.Canonical() != s_spec.Canonical()) {
+    auto built = VectorDataset::Build(disk.get(), s_spec.Canonical(),
+                                      s_spec.Generate(), build);
+    PMJOIN_CHECK(built.ok());
+    s.emplace(std::move(built).value());
   }
+  const VectorDataset& s_ref = s.has_value() ? *s : *r;
+  report = job.k > 0
+               ? driver.RunKnnJoin(*r, s_ref, job.k, options, &sink)
+               : driver.RunVector(*r, s_ref, job.eps, options, &sink);
   PMJOIN_CHECK(report.ok());
   StandaloneRun run;
   run.pairs = sink.Sorted();
@@ -243,6 +255,63 @@ TEST(ServerConcordanceTest, FiftyQueryStreamBeatsStandaloneIo) {
   EXPECT_GE(join_server.cache_stats().matrix_hits, 1u);
   EXPECT_EQ(report.queries().size(), 50u);
   EXPECT_LT(report.io_totals().pages_read, standalone_pages_read);
+  ExpectExactLedger(report);
+}
+
+// Mixed ε/kNN traffic on one server: every query concordant with its
+// standalone oracle, the kNN candidate matrix shared across different k
+// (its key has neither eps nor k), ε and kNN caches independent, and the
+// I/O ledger exact across both query types.
+TEST(ServerConcordanceTest, MixedEpsAndKnnStreamSharesArtifacts) {
+  const std::string pair_r = "road/1200/31";
+  const std::string pair_s = "road/1200/32";
+  std::vector<JobSpec> jobs;
+  jobs.push_back(MakeJob(pair_r, pair_s, 0.01, Algorithm::kSc));
+  jobs.push_back(MakeKnnJob(pair_r, pair_s, 4));   // builds the kNN matrix
+  jobs.push_back(MakeKnnJob(pair_r, pair_s, 8));   // hits it despite new k
+  jobs.push_back(MakeJob(pair_r, pair_s, 0.01, Algorithm::kCc));
+  jobs.push_back(MakeKnnJob(pair_r, pair_s, 4));   // warm repeat
+  jobs.push_back(MakeKnnJob(pair_r, pair_r, 2));   // kNN self join
+  jobs.push_back(MakeKnnJob("uniform/700/9/4", "uniform/700/10/4", 8));
+
+  auto disk = MakeTestBackend(DiskModel(), kPageBytes);
+  JoinServer join_server(disk.get(), ServerOptions());
+  ASSERT_TRUE(join_server.Start().ok());
+  std::vector<uint64_t> indices;
+  for (const JobSpec& job : jobs) {
+    auto index = join_server.SubmitBlocking(job);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    indices.push_back(*index);
+  }
+  join_server.WaitAll();
+  join_server.Shutdown();
+
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const JoinServer::QueryResult& served = join_server.Wait(indices[i]);
+    ExpectConcordant(served, RunStandalone(jobs[i]),
+                     "job " + std::to_string(i) +
+                         (jobs[i].k > 0 ? " knn" : " eps"));
+    EXPECT_EQ(served.row.k, jobs[i].k) << i;
+    if (jobs[i].k > 0) EXPECT_EQ(served.row.engine, "knn") << i;
+  }
+
+  // One kNN matrix build per dataset pair — (r,s), (r,r), and the uniform
+  // pair — every other kNN query a hit, including the k=8 one. The ε
+  // matrices are keyed separately: the two eps jobs share one build (same
+  // eps and norm; the engine is not part of the key) untouched by the
+  // interleaved kNN traffic.
+  const ArtifactCache::Stats stats = join_server.cache_stats();
+  EXPECT_EQ(stats.knn_matrix_builds, 3u);
+  EXPECT_EQ(stats.knn_matrix_hits, 2u);
+  EXPECT_EQ(stats.matrix_builds, 1u);
+  EXPECT_EQ(stats.matrix_hits, 1u);
+
+  ServerReport report = join_server.BuildReport();
+  EXPECT_EQ(report.queries().size(), jobs.size());
+  const std::vector<QueryRow>& rows = report.queries();
+  EXPECT_FALSE(rows[1].matrix_cache_hit);  // cold kNN matrix
+  EXPECT_TRUE(rows[2].matrix_cache_hit);   // different k, same matrix
+  EXPECT_TRUE(rows[4].matrix_cache_hit);   // warm repeat
   ExpectExactLedger(report);
 }
 

@@ -11,6 +11,8 @@ table's throughput metric:
     cluster_join_file  records_s       (file-backend cluster-join
                                         wall-clock throughput, sync and
                                         async read-pipeline rows)
+    knn_join           records_s       (kNN-join engine throughput,
+                                        pm_knn and brute-force rows)
 
 Labels or metrics present in only one file are skipped with a warning, so
 a baseline regenerated under an older schema keeps comparing on the rows
@@ -45,6 +47,7 @@ import sys
 TABLE_METRICS = {
     "distance_kernels": "terms_s_tiled",
     "cluster_join_file": "records_s",
+    "knn_join": "records_s",
 }
 
 

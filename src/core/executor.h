@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/cluster.h"
+#include "core/shard_planner.h"
 #include "io/buffer_pool.h"
 
 namespace pmjoin {
@@ -52,6 +53,19 @@ struct ExecutorOptions {
   /// and of prefetch_next_cluster (the feasibility gate still decides
   /// whether pages are *pinned* early; staging never pins).
   uint32_t io_threads = 0;
+
+  /// When non-null, the executor records each cluster's exact charges
+  /// into `(*cluster_charges)[cluster index]` (+=, so a caller can
+  /// accumulate across calls): the modeled IoStats delta of the cluster's
+  /// PinBatch — wherever the prefetch machinery places it — and the
+  /// OpCounters delta of its entry joins. Attribution changes nothing
+  /// observable (the execution path is identical with or without it), and
+  /// it is exact: every modeled page the executor moves is pinned on
+  /// behalf of exactly one cluster, so the summed charges equal the
+  /// executor's I/O footprint field by field. Must be sized >=
+  /// clusters.size(); the shard coordinator (core/shard_coordinator.h)
+  /// folds the charges into per-shard totals by plan ownership.
+  std::vector<ClusterCharge>* cluster_charges = nullptr;
 };
 
 /// In-memory join of a range of marked entries: calls

@@ -12,10 +12,12 @@
 #include "common/pair_sink.h"
 #include "common/result.h"
 #include "core/prediction_matrix.h"
+#include "core/shard_planner.h"
 #include "data/vector_dataset.h"
 #include "index/rstar_tree.h"
 #include "geom/distance.h"
 #include "io/storage_backend.h"
+#include "obs/run_report.h"
 #include "seq/sequence_store.h"
 
 namespace pmjoin {
@@ -83,6 +85,17 @@ struct JoinOptions {
   /// produces identical result pairs, CPU counters, and modeled IoStats —
   /// only the wall-clock timing of the physical reads changes.
   uint32_t io_threads = 0;
+
+  /// Modeled shards for the clustered engines and the kNN join (see
+  /// core/shard_coordinator.h). 0 and 1 mean single-node. With N > 1 the
+  /// cluster sharing graph is partitioned into N balanced shards
+  /// minimizing the edge cut, execution charges are attributed to owner
+  /// shards, and each shard's isolated modeled I/O (own buffer pool, own
+  /// backend view, replication included) is reported in the JoinReport's
+  /// shard section. Pairs, total IoStats, and OpCounters stay
+  /// byte-identical to single-node at any shard count. Ignored by the
+  /// non-clustered ε engines (NLJ, pm-NLJ, EGO, BFRJ, PBSM).
+  uint32_t shards = 1;
 };
 
 class BufferPool;
@@ -159,7 +172,28 @@ struct JoinReport {
   uint64_t matrix_cols = 0;
   double matrix_selectivity = 0.0;
   uint64_t num_clusters = 0;
+
+  /// Shard section (JoinOptions::shards > 1 on a sharding engine; shards
+  /// stays 1 and shard_stats empty otherwise). The ledger is exact:
+  /// Σ shard_stats[].io + shard_unattributed_io == io, field by field —
+  /// the unattributed remainder is the work outside cluster execution
+  /// (matrix build, tree reads, planning).
+  uint32_t shards = 1;
+  uint64_t shard_cut_weight = 0;
+  uint64_t shard_sharing_weight = 0;
+  uint64_t shard_replicated_pages = 0;
+  uint64_t shard_distinct_pages = 0;
+  double shard_balance_ratio = 0.0;
+  IoStats shard_unattributed_io;
+  OpCounters shard_unattributed_ops;
+  std::vector<ShardStats> shard_stats;
 };
+
+/// Copies a JoinReport's shard section into the obs-layer report mirror
+/// (the "shards" JSON object of run and server reports). The section's
+/// join_io/join_ops are the report totals the per-shard ledger closes
+/// against. Only meaningful when report.shards > 1.
+obs::ShardSection ShardSectionOf(const JoinReport& report);
 
 /// One-call façade over the whole library: builds the prediction matrix,
 /// clusters it, schedules, and executes — or runs a baseline — returning a

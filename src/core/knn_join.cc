@@ -125,6 +125,9 @@ Status KnnJoinVectors(const VectorDataset& r, const VectorDataset& s,
     return Status::InvalidArgument("knn candidate matrix shape mismatch");
   if (results->k() != options.k || results->num_records() != r.num_records())
     return Status::InvalidArgument("knn result sink shape mismatch");
+  if (options.page_charges != nullptr &&
+      options.page_charges->size() < r.num_pages())
+    return Status::InvalidArgument("page_charges smaller than R page count");
 
   const size_t dims = r.dims();
   const Norm norm = options.norm;
@@ -136,7 +139,15 @@ Status KnnJoinVectors(const VectorDataset& r, const VectorDataset& s,
   std::vector<std::vector<double>> scratch(shards);
   for (std::vector<double>& buf : scratch) buf.resize(s.records_per_page());
 
+  std::vector<ClusterCharge>* const charges = options.page_charges;
   for (uint32_t rp = 0; rp < r.num_pages(); ++rp) {
+    // Every charge inside this iteration — pins and CPU alike — belongs
+    // to R page rp; the deltas are exact because only the coordinator
+    // touches the pool and the counters.
+    const IoStats io_before =
+        charges != nullptr ? pool->disk()->stats() : IoStats();
+    const OpCounters ops_before =
+        charges != nullptr && ops != nullptr ? *ops : OpCounters();
     const PageId rpid{r.file_id(), rp};
     Status st = pool->Pin(rpid);
     if (!st.ok()) return st;
@@ -206,6 +217,10 @@ Status KnnJoinVectors(const VectorDataset& r, const VectorDataset& s,
       pool->Unpin(spid);
     }
     pool->Unpin(rpid);
+    if (charges != nullptr) {
+      (*charges)[rp].io += pool->disk()->stats().Delta(io_before);
+      if (ops != nullptr) (*charges)[rp].ops += ops->Delta(ops_before);
+    }
   }
   return Status::OK();
 }

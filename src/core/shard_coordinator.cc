@@ -1,0 +1,120 @@
+#include "core/shard_coordinator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "io/simulated_disk.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace pmjoin {
+
+void AttributeCharges(std::span<const ClusterCharge> charges,
+                      ShardPlan* plan) {
+  for (size_t i = 0; i < charges.size() && i < plan->owner.size(); ++i) {
+    ShardStats& stats = plan->shards[plan->owner[i]];
+    stats.io += charges[i].io;
+    stats.ops += charges[i].ops;
+  }
+}
+
+Result<IoStats> ReplayShardModeledIo(const JoinInput& input,
+                                     const std::vector<Cluster>& clusters,
+                                     std::span<const uint32_t> sub_order,
+                                     const StorageBackend& base,
+                                     uint32_t buffer_pages) {
+  // Accounting-only mirror of the base backend: same file ids and page
+  // counts, zero payloads. Files are created in id order, so every PageId
+  // of the base resolves to the same (file, page) here.
+  SimulatedDisk mirror(base.model(), base.page_size_bytes());
+  for (uint32_t f = 0; f < base.NumFiles(); ++f)
+    mirror.CreateFile(base.file(f).name, base.num_pages(f));
+  BufferPool pool(&mirror, buffer_pages);
+  for (const uint32_t index : sub_order) {
+    if (index >= clusters.size())
+      return Status::InvalidArgument("shard sub-order index out of range");
+    std::vector<PageId> pages = ClusterPageSet(clusters[index], input);
+    if (pages.size() > buffer_pages)
+      return Status::BufferFull("shard replay cluster larger than buffer");
+    PMJOIN_RETURN_IF_ERROR(pool.PinBatch(pages));
+    pool.UnpinBatch(pages);
+  }
+  return mirror.stats();
+}
+
+Status ExecuteShardedJoin(const JoinInput& input,
+                          const std::vector<Cluster>& clusters,
+                          std::span<const uint32_t> order, BufferPool* pool,
+                          PairSink* sink, OpCounters* ops,
+                          const ExecutorOptions& exec_options,
+                          uint32_t num_shards, uint32_t shard_buffer_pages,
+                          ThreadPool* replay_pool, ShardPlan* plan) {
+  {
+    PMJOIN_SPAN("shard_plan");
+    *plan = PlanShards(clusters, input, num_shards);
+  }
+  PMJOIN_METRIC_GAUGE_SET("shard.cut_weight",
+                          static_cast<int64_t>(plan->cut_weight));
+  PMJOIN_METRIC_GAUGE_SET("shard.replicated_pages",
+                          static_cast<int64_t>(plan->replicated_pages));
+
+  std::vector<ClusterCharge> charges(clusters.size());
+  ExecutorOptions charged_options = exec_options;
+  charged_options.cluster_charges = &charges;
+  PMJOIN_RETURN_IF_ERROR(ExecuteClusteredJoin(input, clusters, order, pool,
+                                              sink, ops, charged_options));
+  AttributeCharges(charges, plan);
+
+  // Isolated per-shard replays: disjoint private state per shard, so the
+  // thread-pool path produces bit-identical results to the serial one and
+  // needs no locking beyond the WaitGroup barrier.
+  PMJOIN_SPAN("shard_replay");
+  const StorageBackend& base = *pool->disk();
+  std::vector<Status> statuses(plan->num_shards, Status::OK());
+  auto replay_one = [&](uint32_t s) {
+    const std::vector<uint32_t> sub = ShardSubOrder(*plan, order, s);
+    Result<IoStats> replayed =
+        ReplayShardModeledIo(input, clusters, sub, base, shard_buffer_pages);
+    if (replayed.ok())
+      plan->shards[s].modeled_io = *replayed;
+    else
+      statuses[s] = replayed.status();
+  };
+  if (replay_pool != nullptr && plan->num_shards > 1) {
+    WaitGroup wg;
+    wg.Add(plan->num_shards);
+    for (uint32_t s = 0; s < plan->num_shards; ++s) {
+      replay_pool->Submit([&replay_one, &wg, s] {
+        replay_one(s);
+        wg.Done();
+      });
+    }
+    wg.Wait();
+  } else {
+    for (uint32_t s = 0; s < plan->num_shards; ++s) replay_one(s);
+  }
+  for (const Status& st : statuses) PMJOIN_RETURN_IF_ERROR(st);
+  return Status::OK();
+}
+
+std::vector<Cluster> KnnOwnershipClusters(const KnnCandidateMatrix& matrix,
+                                          uint32_t buffer_pages) {
+  const uint32_t prefix_cap = std::max(1u, buffer_pages / 2);
+  std::vector<Cluster> units(matrix.rows());
+  for (uint32_t rp = 0; rp < matrix.rows(); ++rp) {
+    Cluster& unit = units[rp];
+    unit.rows.push_back(rp);
+    const std::vector<KnnCandidateMatrix::Candidate>& row = matrix.Row(rp);
+    const uint32_t take =
+        std::min<uint32_t>(prefix_cap, static_cast<uint32_t>(row.size()));
+    unit.cols.reserve(take);
+    for (uint32_t i = 0; i < take; ++i) unit.cols.push_back(row[i].s_page);
+    std::sort(unit.cols.begin(), unit.cols.end());
+    unit.entries.reserve(take);
+    for (const uint32_t col : unit.cols)
+      unit.entries.push_back(MatrixEntry{rp, col});
+  }
+  return units;
+}
+
+}  // namespace pmjoin

@@ -1,0 +1,87 @@
+#ifndef PMJOIN_CORE_SHARD_COORDINATOR_H_
+#define PMJOIN_CORE_SHARD_COORDINATOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/op_counters.h"
+#include "common/pair_sink.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/executor.h"
+#include "core/knn_join.h"
+#include "core/shard_planner.h"
+#include "io/buffer_pool.h"
+
+namespace pmjoin {
+
+/// Shard-aware clustered join (DESIGN.md "Sharded execution").
+///
+/// The coordinator keeps the *answer path* single-node: it runs the exact
+/// ExecuteClusteredJoin the caller would have run — same clusters, same
+/// schedule, same pool — so pairs, merged IoStats, and OpCounters are
+/// byte-identical to single-node at any shard count by construction. On
+/// top of that canonical execution it models the N-shard deployment:
+///
+///   1. PlanShards partitions the sharing graph into `num_shards`
+///      balanced shards minimizing the edge cut (uncharged).
+///   2. The execution records per-cluster charges
+///      (ExecutorOptions::cluster_charges), folded here into per-shard
+///      attributed IoStats/OpCounters — an exact partition of the
+///      executor's footprint by ownership.
+///   3. Each shard is replayed in isolation: its sub-order (the global
+///      schedule restricted to its clusters) pinned through a private
+///      BufferPool over a private SimulatedDisk mirroring the base
+///      backend's file layout — each shard's own BufferPool +
+///      StorageBackend view. The replayed IoStats include the
+///      cross-shard replication cost the attributed view cannot show.
+///      Replays touch disjoint private state only, so they run serially
+///      or on `replay_pool` with identical results, merged in shard
+///      order (no new mutexes: the only synchronization is the existing
+///      ThreadPool/WaitGroup pair, ranks 40/50).
+///
+/// On success `*plan` holds the completed plan: ownership, cut weight,
+/// replication, balance, and per-shard attributed + modeled stats.
+Status ExecuteShardedJoin(const JoinInput& input,
+                          const std::vector<Cluster>& clusters,
+                          std::span<const uint32_t> order, BufferPool* pool,
+                          PairSink* sink, OpCounters* ops,
+                          const ExecutorOptions& exec_options,
+                          uint32_t num_shards, uint32_t shard_buffer_pages,
+                          ThreadPool* replay_pool, ShardPlan* plan);
+
+/// Folds per-cluster charges into `plan->shards[owner].io/ops`. Exposed
+/// for the kNN path, which records per-R-page charges itself.
+void AttributeCharges(std::span<const ClusterCharge> charges,
+                      ShardPlan* plan);
+
+/// One shard's isolated modeled I/O: `sub_order`'s clusters pinned and
+/// unpinned through a fresh BufferPool of `buffer_pages` over a
+/// SimulatedDisk replicating `base`'s files (same ids, names, page
+/// counts, cost model). File regions are 2^32 pages apart on every
+/// backend, so the mirror's modeled cost depends only on the page access
+/// sequence — the shard's modeled I/O is exactly what a worker node with
+/// its own pool and disk would charge for the same sub-schedule.
+Result<IoStats> ReplayShardModeledIo(const JoinInput& input,
+                                     const std::vector<Cluster>& clusters,
+                                     std::span<const uint32_t> sub_order,
+                                     const StorageBackend& base,
+                                     uint32_t buffer_pages);
+
+/// Synthetic one-cluster-per-R-page ownership units for sharding the kNN
+/// join, whose true page accesses are bound-driven and unknowable ahead
+/// of execution. Each R page becomes a unit whose page set is the page
+/// itself plus the prefix of its candidate row (the S pages a prune-
+/// effective expansion most plausibly visits — its working set), capped
+/// at max(1, buffer_pages / 2) candidates. PlanShards over these units
+/// balances R pages across shards while co-locating pages with similar
+/// near-candidate sets. Entries are synthesized one per prefix page so
+/// the planner's load unit tracks the working-set size.
+std::vector<Cluster> KnnOwnershipClusters(const KnnCandidateMatrix& matrix,
+                                          uint32_t buffer_pages);
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_CORE_SHARD_COORDINATOR_H_

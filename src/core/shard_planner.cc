@@ -1,0 +1,133 @@
+#include "core/shard_planner.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/scheduler.h"
+
+namespace pmjoin {
+
+ShardPlan PlanShards(const std::vector<Cluster>& clusters,
+                     const JoinInput& input, uint32_t num_shards) {
+  ShardPlan plan;
+  plan.num_shards = num_shards == 0 ? 1 : num_shards;
+  const uint32_t n = static_cast<uint32_t>(clusters.size());
+  plan.owner.assign(n, 0);
+  plan.shard_clusters.resize(plan.num_shards);
+  plan.shards.resize(plan.num_shards);
+  if (n == 0) {
+    plan.balance_ratio = 1.0;
+    return plan;
+  }
+
+  // The same sharing graph the §8 scheduler orders by — here it is cut.
+  // Built uncharged: planning is coordinator bookkeeping, and charging it
+  // would make the single-node and sharded OpCounters diverge.
+  const std::vector<SharingEdge> edges =
+      BuildSharingGraph(clusters, input, nullptr);
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> adjacent(n);
+  std::vector<uint64_t> strength(n, 0);
+  for (const SharingEdge& e : edges) {
+    adjacent[e.a].emplace_back(e.b, e.weight);
+    adjacent[e.b].emplace_back(e.a, e.weight);
+    strength[e.a] += e.weight;
+    strength[e.b] += e.weight;
+    plan.sharing_weight += e.weight;
+  }
+
+  // Place the best-connected clusters first so each later cluster sees
+  // most of its neighborhood already committed.
+  std::vector<uint32_t> by_strength(n);
+  for (uint32_t i = 0; i < n; ++i) by_strength[i] = i;
+  std::sort(by_strength.begin(), by_strength.end(),
+            [&](uint32_t x, uint32_t y) {
+              if (strength[x] != strength[y]) return strength[x] > strength[y];
+              if (clusters[x].entries.size() != clusters[y].entries.size())
+                return clusters[x].entries.size() > clusters[y].entries.size();
+              return x < y;
+            });
+
+  uint64_t total_load = 0;
+  for (const Cluster& c : clusters) total_load += c.entries.size();
+  // Balanced cap: no shard takes more than its fair share until every
+  // shard has reached it (a single oversized cluster may still overshoot).
+  const uint64_t cap =
+      (total_load + plan.num_shards - 1) / plan.num_shards;
+
+  std::vector<uint64_t> load(plan.num_shards, 0);
+  std::vector<uint64_t> gain(plan.num_shards, 0);
+  std::vector<bool> placed(n, false);
+  for (const uint32_t c : by_strength) {
+    std::fill(gain.begin(), gain.end(), 0u);
+    for (const auto& [nb, w] : adjacent[c]) {
+      if (placed[nb]) gain[plan.owner[nb]] += w;
+    }
+    // Highest sharing gain among shards under the cap; ties go to the
+    // lighter shard, then the lower id. If every shard is at the cap
+    // (only once loads have evened out), fall back to the lightest.
+    uint32_t best = UINT32_MAX;
+    for (uint32_t s = 0; s < plan.num_shards; ++s) {
+      if (load[s] >= cap) continue;
+      if (best == UINT32_MAX || gain[s] > gain[best] ||
+          (gain[s] == gain[best] && load[s] < load[best]))
+        best = s;
+    }
+    if (best == UINT32_MAX) {
+      best = 0;
+      for (uint32_t s = 1; s < plan.num_shards; ++s)
+        if (load[s] < load[best]) best = s;
+    }
+    plan.owner[c] = best;
+    placed[c] = true;
+    load[best] += clusters[c].entries.size();
+  }
+
+  for (uint32_t i = 0; i < n; ++i)
+    plan.shard_clusters[plan.owner[i]].push_back(i);
+
+  for (const SharingEdge& e : edges) {
+    if (plan.owner[e.a] != plan.owner[e.b]) plan.cut_weight += e.weight;
+  }
+
+  // Page replication: pages needed by clusters on more than one shard are
+  // read once per shard when the shards run isolated.
+  std::set<uint64_t> global_pages;
+  for (uint32_t s = 0; s < plan.num_shards; ++s) {
+    ShardStats& stats = plan.shards[s];
+    stats.clusters = plan.shard_clusters[s].size();
+    std::set<uint64_t> shard_pages;
+    for (const uint32_t c : plan.shard_clusters[s]) {
+      stats.entries += clusters[c].entries.size();
+      for (const PageId& pid : ClusterPageSet(clusters[c], input)) {
+        const uint64_t key = (uint64_t(pid.file) << 32) | pid.page;
+        shard_pages.insert(key);
+        global_pages.insert(key);
+      }
+    }
+    stats.pages = shard_pages.size();
+    plan.replicated_pages += shard_pages.size();
+  }
+  plan.distinct_pages = global_pages.size();
+  plan.replicated_pages -= plan.distinct_pages;
+
+  uint64_t max_load = 0;
+  for (uint32_t s = 0; s < plan.num_shards; ++s)
+    max_load = std::max(max_load, load[s]);
+  const double mean =
+      static_cast<double>(total_load) / static_cast<double>(plan.num_shards);
+  plan.balance_ratio = mean > 0.0 ? static_cast<double>(max_load) / mean : 1.0;
+  return plan;
+}
+
+std::vector<uint32_t> ShardSubOrder(const ShardPlan& plan,
+                                    std::span<const uint32_t> order,
+                                    uint32_t shard) {
+  std::vector<uint32_t> sub;
+  for (const uint32_t index : order) {
+    if (index < plan.owner.size() && plan.owner[index] == shard)
+      sub.push_back(index);
+  }
+  return sub;
+}
+
+}  // namespace pmjoin

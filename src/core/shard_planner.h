@@ -1,0 +1,104 @@
+#ifndef PMJOIN_CORE_SHARD_PLANNER_H_
+#define PMJOIN_CORE_SHARD_PLANNER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/op_counters.h"
+#include "core/cluster.h"
+#include "io/io_stats.h"
+
+namespace pmjoin {
+
+/// One cluster's exact execution charges, recorded by the clustered
+/// executor (ExecutorOptions::cluster_charges) or the kNN join
+/// (KnnJoinOptions::page_charges): the modeled I/O the cluster's pins
+/// cost and the CPU its entry joins charged. The shard coordinator folds
+/// these into per-shard totals by ownership, which is what makes the
+/// shard ledger exact — Σ per-shard charges + unattributed equals the
+/// run's totals field by field, because every charge is a delta of the
+/// same monotone counters the run totals are.
+struct ClusterCharge {
+  IoStats io;
+  OpCounters ops;
+};
+
+/// Per-shard summary of a shard plan, partly filled by PlanShards
+/// (clusters/entries/pages) and completed by the shard coordinator
+/// (attributed execution charges, isolated modeled replay).
+struct ShardStats {
+  /// Clusters owned by this shard.
+  uint64_t clusters = 0;
+  /// Marked entries owned (the planner's load unit).
+  uint64_t entries = 0;
+  /// Distinct pages the shard's clusters touch — Σ over shards exceeds
+  /// the global distinct count by exactly the replicated pages.
+  uint64_t pages = 0;
+  /// Modeled I/O charged by the single-node execution on behalf of this
+  /// shard's clusters (exact attribution; see ClusterCharge).
+  IoStats io;
+  /// CPU counters charged on behalf of this shard's clusters.
+  OpCounters ops;
+  /// Modeled I/O of this shard running alone: its sub-order replayed
+  /// through a private BufferPool over a private backend mirror. Includes
+  /// the replication cost the attributed view cannot show — pages shared
+  /// across shards are read once per shard here.
+  IoStats modeled_io;
+};
+
+/// A partition of the clusters across N modeled shards, minimizing the
+/// sharing-graph edge weight cut by the partition (the distributed
+/// analogue of the §8 schedule: weight kept inside a shard is page reuse
+/// that shard can still realize; weight cut is replication).
+struct ShardPlan {
+  uint32_t num_shards = 1;
+
+  /// owner[i] is the shard of cluster i.
+  std::vector<uint32_t> owner;
+
+  /// Clusters of each shard, ascending.
+  std::vector<std::vector<uint32_t>> shard_clusters;
+
+  /// Sharing-graph weight crossing shards / total weight.
+  uint64_t cut_weight = 0;
+  uint64_t sharing_weight = 0;
+
+  /// Σ per-shard distinct pages − global distinct pages: the pages read
+  /// more than once because the clusters needing them live on different
+  /// shards (the replication-vs-balance cost of McCauley & Silvestri /
+  /// Lu et al.).
+  uint64_t replicated_pages = 0;
+  uint64_t distinct_pages = 0;
+
+  /// Max shard entry load over the mean load (1.0 = perfectly balanced).
+  double balance_ratio = 0.0;
+
+  /// Per-shard rows, size num_shards.
+  std::vector<ShardStats> shards;
+};
+
+/// Greedily partitions the clusters into `num_shards` balanced shards
+/// minimizing the sharing-graph cut. Clusters are considered in
+/// descending (incident sharing weight, entry count) order — the
+/// best-connected first, so their neighborhoods cohere — and each is
+/// placed on the shard holding the most sharing weight to its already
+/// placed neighbors, among shards still under the balanced load cap
+/// (⌈total entries / num_shards⌉). Deterministic tie-breaks throughout:
+/// equal gain → lower load → lower shard id; equal sort keys → lower
+/// cluster index. `num_shards` == 0 is treated as 1; shards may end up
+/// empty when there are fewer clusters than shards.
+ShardPlan PlanShards(const std::vector<Cluster>& clusters,
+                     const JoinInput& input, uint32_t num_shards);
+
+/// The global schedule restricted to one shard's clusters: `order` with
+/// every cluster not owned by `shard` removed. This is the order the
+/// shard's isolated replay processes — each shard inherits the §8
+/// schedule's reuse structure for the clusters it owns.
+std::vector<uint32_t> ShardSubOrder(const ShardPlan& plan,
+                                    std::span<const uint32_t> order,
+                                    uint32_t shard);
+
+}  // namespace pmjoin
+
+#endif  // PMJOIN_CORE_SHARD_PLANNER_H_

@@ -1,0 +1,285 @@
+// Sharded execution end-to-end (core/shard_coordinator.h): for every
+// shard count the clustered engines and the kNN join must produce pairs,
+// merged IoStats, and OpCounters byte-identical to single-node, report an
+// exact per-shard ledger (Σ attributed + unattributed == totals), and —
+// for the clustered engines — per-shard isolated modeled I/O whose excess
+// over the single-node footprint is the plan's replication.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/join_driver.h"
+#include "data/generators.h"
+#include "data/sequence_dataset.h"
+#include "io/storage_backend.h"
+#include "test_util.h"
+
+namespace pmjoin {
+namespace {
+
+const uint32_t kShardCounts[] = {1, 2, 4, 8};
+
+JoinOptions BaseOptions(Algorithm algorithm, uint32_t shards) {
+  JoinOptions options;
+  options.algorithm = algorithm;
+  options.buffer_pages = 12;
+  options.page_size_bytes = 64;
+  options.shards = shards;
+  return options;
+}
+
+/// The shard ledger must be an exact partition of the report totals:
+/// Σ shard_stats[].io + shard_unattributed_io == report.io, field by
+/// field, and the same for ops (IoStats/OpCounters operator== is
+/// member-wise, so whole-struct equality is the field-by-field check).
+void CheckShardLedger(const JoinReport& report) {
+  ASSERT_EQ(report.shard_stats.size(), report.shards);
+  IoStats io_sum = report.shard_unattributed_io;
+  OpCounters ops_sum = report.shard_unattributed_ops;
+  uint64_t clusters = 0;
+  for (const ShardStats& stats : report.shard_stats) {
+    io_sum += stats.io;
+    ops_sum += stats.ops;
+    clusters += stats.clusters;
+  }
+  EXPECT_EQ(io_sum, report.io);
+  EXPECT_EQ(ops_sum, report.ops);
+  EXPECT_GE(report.shard_balance_ratio, 1.0);
+  EXPECT_LE(report.shard_cut_weight, report.shard_sharing_weight);
+  // Every shard's ownership units are accounted for (the kNN path's units
+  // are R pages, not clusters, so only a lower bound holds generally).
+  EXPECT_GT(clusters, 0u);
+}
+
+class ShardedVectorJoinTest
+    : public ::testing::TestWithParam<std::tuple<Algorithm, uint32_t>> {
+ protected:
+  ShardedVectorJoinTest() {
+    r_raw_ = GenRoadNetwork(600, 3);
+    s_raw_ = GenRoadNetwork(500, 4);
+    VectorDataset::Options ds_options;
+    ds_options.page_size_bytes = 64;
+    r_.emplace(VectorDataset::Build(&disk_, "r", r_raw_, ds_options).value());
+    s_.emplace(VectorDataset::Build(&disk_, "s", s_raw_, ds_options).value());
+  }
+
+  std::unique_ptr<StorageBackend> disk_holder_ =
+      testing_util::MakeTestBackend();
+  StorageBackend& disk_ = *disk_holder_;
+  VectorData r_raw_, s_raw_;
+  std::optional<VectorDataset> r_, s_;
+};
+
+TEST_P(ShardedVectorJoinTest, ByteIdenticalToSingleNode) {
+  const auto [algorithm, shards] = GetParam();
+  const double eps = 0.05;
+
+  // Single-node baseline on a fresh backend so residual pool state never
+  // leaks between the runs being compared.
+  auto base_disk = testing_util::MakeTestBackend();
+  VectorDataset::Options ds_options;
+  ds_options.page_size_bytes = 64;
+  auto base_r = VectorDataset::Build(base_disk.get(), "r", r_raw_, ds_options);
+  auto base_s = VectorDataset::Build(base_disk.get(), "s", s_raw_, ds_options);
+  ASSERT_TRUE(base_r.ok());
+  ASSERT_TRUE(base_s.ok());
+  JoinDriver base_driver(base_disk.get());
+  CollectingSink base_sink;
+  auto base = base_driver.RunVector(*base_r, *base_s, eps,
+                                    BaseOptions(algorithm, 1), &base_sink);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+
+  JoinDriver driver(&disk_);
+  CollectingSink sink;
+  auto sharded = driver.RunVector(*r_, *s_, eps,
+                                  BaseOptions(algorithm, shards), &sink);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+
+  // The answer path is single-node by construction: identical pairs,
+  // modeled I/O, and CPU counters at any shard count.
+  EXPECT_EQ(sink.Sorted(), base_sink.Sorted());
+  EXPECT_EQ(sharded->io, base->io);
+  EXPECT_EQ(sharded->ops, base->ops);
+  EXPECT_EQ(sharded->result_pairs, base->result_pairs);
+
+  if (shards <= 1) {
+    EXPECT_EQ(sharded->shards, 1u);
+    EXPECT_TRUE(sharded->shard_stats.empty());
+    return;
+  }
+  EXPECT_EQ(sharded->shards, shards);
+  CheckShardLedger(*sharded);
+
+  // Each shard's isolated replay reads at least its distinct pages, and
+  // the per-shard distinct counts exceed the global one by exactly the
+  // replicated pages.
+  uint64_t modeled_reads = 0, shard_pages = 0, shard_clusters = 0;
+  for (const ShardStats& stats : sharded->shard_stats) {
+    EXPECT_GE(stats.modeled_io.pages_read, stats.pages);
+    modeled_reads += stats.modeled_io.pages_read;
+    shard_pages += stats.pages;
+    shard_clusters += stats.clusters;
+  }
+  EXPECT_EQ(shard_pages,
+            sharded->shard_distinct_pages + sharded->shard_replicated_pages);
+  EXPECT_EQ(shard_clusters, sharded->num_clusters);
+  EXPECT_GE(modeled_reads, sharded->shard_distinct_pages);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnginesTimesShards, ShardedVectorJoinTest,
+    ::testing::Combine(::testing::Values(Algorithm::kSc, Algorithm::kCc),
+                       ::testing::ValuesIn(kShardCounts)),
+    [](const ::testing::TestParamInfo<std::tuple<Algorithm, uint32_t>>& i) {
+      return AlgorithmName(std::get<0>(i.param)) + "_shards" +
+             std::to_string(std::get<1>(i.param));
+    });
+
+class ShardedKnnJoinTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ShardedKnnJoinTest, ByteIdenticalToSingleNode) {
+  const uint32_t shards = GetParam();
+  const VectorData r_raw = GenRoadNetwork(400, 5);
+  const VectorData s_raw = GenRoadNetwork(350, 6);
+  VectorDataset::Options ds_options;
+  ds_options.page_size_bytes = 64;
+
+  auto run = [&](uint32_t num_shards, CollectingSink* sink) {
+    auto disk = testing_util::MakeTestBackend();
+    auto r = VectorDataset::Build(disk.get(), "r", r_raw, ds_options);
+    auto s = VectorDataset::Build(disk.get(), "s", s_raw, ds_options);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(s.ok());
+    JoinDriver driver(disk.get());
+    return driver.RunKnnJoin(*r, *s, 3, BaseOptions(Algorithm::kSc, num_shards),
+                             sink);
+  };
+
+  CollectingSink base_sink, sink;
+  auto base = run(1, &base_sink);
+  auto sharded = run(shards, &sink);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+
+  EXPECT_EQ(sink.Sorted(), base_sink.Sorted());
+  EXPECT_EQ(sharded->io, base->io);
+  EXPECT_EQ(sharded->ops, base->ops);
+
+  if (shards <= 1) {
+    EXPECT_EQ(sharded->shards, 1u);
+    return;
+  }
+  EXPECT_EQ(sharded->shards, shards);
+  CheckShardLedger(*sharded);
+  // kNN expansion is bound-driven, so there is no isolated replay: the
+  // modeled view stays zero (documented in core/shard_coordinator.h).
+  for (const ShardStats& stats : sharded->shard_stats)
+    EXPECT_EQ(stats.modeled_io, IoStats());
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardedKnnJoinTest,
+                         ::testing::ValuesIn(kShardCounts),
+                         [](const ::testing::TestParamInfo<uint32_t>& i) {
+                           return "shards" + std::to_string(i.param);
+                         });
+
+TEST(ShardedSequenceJoinTest, StringJoinByteIdenticalAndLedgerExact) {
+  const std::vector<uint8_t> a = GenDnaSequence(2500, 91, 0.5, 0.01, 0.05);
+
+  auto run = [&](uint32_t num_shards, CollectingSink* sink) {
+    auto disk = testing_util::MakeTestBackend();
+    auto store = StringSequenceStore::Build(disk.get(), "a", a, 4, 12, 64);
+    EXPECT_TRUE(store.ok());
+    JoinDriver driver(disk.get());
+    return driver.RunString(*store, *store, 1,
+                            BaseOptions(Algorithm::kSc, num_shards), sink);
+  };
+
+  CollectingSink base_sink, sink;
+  auto base = run(1, &base_sink);
+  auto sharded = run(4, &sink);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+
+  EXPECT_EQ(sink.Sorted(), base_sink.Sorted());
+  EXPECT_EQ(sharded->io, base->io);
+  EXPECT_EQ(sharded->ops, base->ops);
+  EXPECT_EQ(sharded->shards, 4u);
+  CheckShardLedger(*sharded);
+}
+
+TEST(ShardedExecutionTest, NonClusteredEnginesIgnoreShards) {
+  // NLJ has no clusters to shard; --shards must be inert, not an error.
+  auto disk = testing_util::MakeTestBackend();
+  const VectorData raw = GenRoadNetwork(200, 61);
+  VectorDataset::Options ds_options;
+  ds_options.page_size_bytes = 64;
+  auto ds = VectorDataset::Build(disk.get(), "r", raw, ds_options);
+  ASSERT_TRUE(ds.ok());
+  JoinDriver driver(disk.get());
+  CountingSink sink;
+  auto report = driver.RunVector(*ds, *ds, 0.05,
+                                 BaseOptions(Algorithm::kNlj, 4), &sink);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->shards, 1u);
+  EXPECT_TRUE(report->shard_stats.empty());
+}
+
+TEST(ShardedExecutionTest, ShardedRunsAreDeterministic) {
+  // Same inputs, same shard count → identical plans and per-shard stats
+  // (workers only parallelize the replays; merge order is shard order).
+  const VectorData raw = GenRoadNetwork(500, 71);
+  VectorDataset::Options ds_options;
+  ds_options.page_size_bytes = 64;
+
+  auto run = [&](CollectingSink* sink) {
+    auto disk = testing_util::MakeTestBackend();
+    auto ds = VectorDataset::Build(disk.get(), "r", raw, ds_options);
+    EXPECT_TRUE(ds.ok());
+    JoinDriver driver(disk.get());
+    JoinOptions options = BaseOptions(Algorithm::kSc, 4);
+    options.num_threads = 3;  // Replays fan out on the worker pool.
+    return driver.RunVector(*ds, *ds, 0.04, options, sink);
+  };
+
+  CollectingSink sink_a, sink_b;
+  auto a = run(&sink_a);
+  auto b = run(&sink_b);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(sink_a.Sorted(), sink_b.Sorted());
+  EXPECT_EQ(a->shard_cut_weight, b->shard_cut_weight);
+  EXPECT_EQ(a->shard_replicated_pages, b->shard_replicated_pages);
+  ASSERT_EQ(a->shard_stats.size(), b->shard_stats.size());
+  for (size_t s = 0; s < a->shard_stats.size(); ++s) {
+    EXPECT_EQ(a->shard_stats[s].io, b->shard_stats[s].io);
+    EXPECT_EQ(a->shard_stats[s].ops, b->shard_stats[s].ops);
+    EXPECT_EQ(a->shard_stats[s].modeled_io, b->shard_stats[s].modeled_io);
+  }
+  CheckShardLedger(*a);
+}
+
+TEST(ShardedExecutionTest, EnvShardCountAppliesCleanly) {
+  // The PMJOIN_TEST_SHARDS hook other suites consume: whatever count it
+  // selects must keep the identity and ledger invariants.
+  const uint32_t shards = testing_util::TestShardCount();
+  auto disk = testing_util::MakeTestBackend();
+  const VectorData raw = GenRoadNetwork(300, 81);
+  VectorDataset::Options ds_options;
+  ds_options.page_size_bytes = 64;
+  auto ds = VectorDataset::Build(disk.get(), "r", raw, ds_options);
+  ASSERT_TRUE(ds.ok());
+  JoinDriver driver(disk.get());
+  CollectingSink sink;
+  auto report = driver.RunVector(*ds, *ds, 0.05,
+                                 BaseOptions(Algorithm::kSc, shards), &sink);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  if (shards > 1) CheckShardLedger(*report);
+}
+
+}  // namespace
+}  // namespace pmjoin

@@ -42,6 +42,15 @@ Rules (see DESIGN.md "Invariants & checking"):
                     them through geom/distance_kernels.h, so __AVX2__,
                     <immintrin.h>, and vector intrinsics are banned in
                     src/ outside src/geom/distance_kernels.{h,cc}.
+  lock-rank         The global lock hierarchy is defined once, in
+                    src/common/sync.h's lock_rank constants, and documented
+                    once, in DESIGN.md's hierarchy table. Every constant
+                    must have a unique rank value (the paranoid checker
+                    orders acquisitions by it; a duplicate would let two
+                    different mutexes interleave undetected) and every rank
+                    must appear in DESIGN.md — an undocumented rank means
+                    the capability table no longer describes the hierarchy
+                    the code enforces.
   include-hygiene   Header guards match the file path (PMJOIN_<PATH>_H_),
                     each src/ .cc includes its own header first, no "../"
                     includes, no angle-bracket includes of project headers.
@@ -110,6 +119,15 @@ SYNC_PRIMITIVES_RE = re.compile(
     r"|shared_lock)\b")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
 GUARD_RE = re.compile(r"^\s*#\s*ifndef\s+(\S+)")
+
+LOCK_RANK_HEADER = "src/common/sync.h"
+LOCK_RANK_DOC = "DESIGN.md"
+LOCK_RANK_RE = re.compile(r"\binline constexpr uint32_t (k\w+) = (\d+);")
+# A rank is documented if it appears as the numeric second column of a
+# DESIGN.md table row (the hierarchy capability table) or in "Rank N"
+# prose (kLeaf is described in prose, not a table row).
+LOCK_RANK_TABLE_RE = re.compile(r"^\|[^|]+\|\s*(\d+)\s*\|")
+LOCK_RANK_PROSE_RE = re.compile(r"[Rr]ank (\d+)")
 
 
 class Finding:
@@ -333,6 +351,59 @@ def lint_file(root, rel_path):
     return findings
 
 
+def lint_lock_ranks(root):
+    """Repo-level rule: the sync.h lock-rank constants are unique and each
+    rank appears in DESIGN.md's lock hierarchy documentation."""
+    findings = []
+    sync_path = os.path.join(root, LOCK_RANK_HEADER)
+    doc_path = os.path.join(root, LOCK_RANK_DOC)
+    if not os.path.exists(sync_path) or not os.path.exists(doc_path):
+        return findings
+
+    with open(sync_path, encoding="utf-8") as f:
+        sync_code = strip_comments_and_strings(f.read())
+    ranks = []  # (lineno, name, value)
+    for lineno, line in enumerate(sync_code.split("\n"), 1):
+        m = LOCK_RANK_RE.search(line)
+        if m:
+            ranks.append((lineno, m.group(1), int(m.group(2))))
+    if not ranks:
+        findings.append(Finding(
+            LOCK_RANK_HEADER, 1, "lock-rank",
+            "no lock_rank constants found; the lint rule and the header "
+            "have diverged"))
+        return findings
+
+    first_with = {}
+    for lineno, name, value in ranks:
+        if value in first_with:
+            findings.append(Finding(
+                LOCK_RANK_HEADER, lineno, "lock-rank",
+                f"{name} reuses rank {value} of {first_with[value]}; ranks "
+                "must be unique so the paranoid checker totally orders "
+                "acquisitions"))
+        else:
+            first_with[value] = name
+
+    with open(doc_path, encoding="utf-8") as f:
+        doc_lines = f.read().split("\n")
+    documented = set()
+    for line in doc_lines:
+        m = LOCK_RANK_TABLE_RE.match(line)
+        if m:
+            documented.add(int(m.group(1)))
+        for m in LOCK_RANK_PROSE_RE.finditer(line):
+            documented.add(int(m.group(1)))
+    for lineno, name, value in ranks:
+        if value not in documented:
+            findings.append(Finding(
+                LOCK_RANK_HEADER, lineno, "lock-rank",
+                f"rank {value} ({name}) is not in {LOCK_RANK_DOC}'s lock "
+                "hierarchy table; document every rank so the capability "
+                "table matches what the code enforces"))
+    return findings
+
+
 def collect_files(root, paths):
     rels = []
     if paths:
@@ -364,6 +435,7 @@ def main():
     all_findings = []
     for rel in collect_files(args.root, args.paths):
         all_findings.extend(lint_file(args.root, rel))
+    all_findings.extend(lint_lock_ranks(args.root))
 
     for finding in all_findings:
         print(finding)
